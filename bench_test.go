@@ -1,0 +1,382 @@
+// Package cbnet's root benchmark suite regenerates every table and figure
+// of the paper (via the harness) and adds the ablation studies listed in
+// DESIGN.md §4 plus real host wall-clock benches of the inference engine.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem .
+//
+// The paper-reproduction benches train small systems once (shared fixture)
+// and report the headline quantities via b.ReportMetric, so `-bench` output
+// doubles as a compact experiment summary; full-size runs belong to
+// cmd/cbnet-bench.
+package cbnet
+
+import (
+	"sync"
+	"testing"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/harness"
+	"cbnet/internal/models"
+	"cbnet/internal/opt"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+	"cbnet/internal/train"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture     *harness.Runner
+)
+
+// sharedRunner trains the three per-dataset systems once per bench binary.
+func sharedRunner(b *testing.B) *harness.Runner {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture = harness.NewRunner(harness.Options{
+			TrainN: 800, TestN: 300, Seed: 42, Repetitions: 3, MaxAccuracyDrop: 0.03,
+		})
+	})
+	return fixture
+}
+
+// ---------------------------------------------------------------------------
+// Paper tables and figures.
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.FormatTableI()
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	r := sharedRunner(b)
+	var rows []harness.TableIIRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = r.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byKey := map[string]harness.TableIIRow{}
+	for _, row := range rows {
+		byKey[row.Dataset+"/"+row.Model] = row
+	}
+	// Headline metrics: CBNet speedup vs LeNet and vs BranchyNet on the Pi.
+	mnistL := byKey["MNIST/LeNet"]
+	mnistC := byKey["MNIST/CBNet"]
+	fmL := byKey["FMNIST/LeNet"]
+	fmB := byKey["FMNIST/BranchyNet"]
+	fmC := byKey["FMNIST/CBNet"]
+	b.ReportMetric(mnistL.LatencyMS[0]/mnistC.LatencyMS[0], "mnist-speedup-vs-lenet")
+	b.ReportMetric(fmL.LatencyMS[0]/fmC.LatencyMS[0], "fmnist-speedup-vs-lenet")
+	b.ReportMetric(fmB.LatencyMS[0]/fmC.LatencyMS[0], "fmnist-speedup-vs-branchy")
+	b.ReportMetric(fmC.EnergySavingsPct[0], "fmnist-pi-energy-savings-%")
+	b.Logf("\n%s\n%s", harness.FormatTableII(rows), harness.SpeedupSummary(rows))
+}
+
+func BenchmarkFig3(b *testing.B) {
+	r := sharedRunner(b)
+	var pts []harness.Fig3Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		switch p.Dataset {
+		case "MNIST":
+			b.ReportMetric(p.SpeedupVsLeNet, "mnist-branchy-speedup")
+		case "FMNIST":
+			b.ReportMetric(p.SpeedupVsLeNet, "fmnist-branchy-speedup")
+		}
+	}
+	b.Logf("\n%s", harness.FormatFig3(pts))
+}
+
+func BenchmarkFig5(b *testing.B) {
+	r := sharedRunner(b)
+	var bars []harness.Fig5Bar
+	var err error
+	for i := 0; i < b.N; i++ {
+		bars, err = r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lat := map[string]float64{}
+	for _, bar := range bars {
+		lat[bar.Model] = bar.LatencyMS
+	}
+	b.ReportMetric(lat["AdaDeep"]/lat["CBNet"], "cbnet-speedup-vs-adadeep")
+	b.ReportMetric(lat["SubFlow"]/lat["CBNet"], "cbnet-speedup-vs-subflow")
+	b.Logf("\n%s", harness.FormatFig5(bars))
+}
+
+func benchScalability(b *testing.B, f dataset.Family) {
+	r := sharedRunner(b)
+	var series []harness.ScalSeries
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = r.FigScalability(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: the Branchy−CBNet total-time gap at full ratio on the Pi.
+	last := series[0].Points[len(series[0].Points)-1]
+	b.ReportMetric(last.BranchyTimeS-last.CBNetTimeS, "pi-fullratio-gap-s")
+	b.Logf("\n%s", harness.FormatScalability(f, series))
+}
+
+func BenchmarkFig6(b *testing.B) { benchScalability(b, dataset.MNIST) }
+func BenchmarkFig7(b *testing.B) { benchScalability(b, dataset.FashionMNIST) }
+func BenchmarkFig8(b *testing.B) { benchScalability(b, dataset.KMNIST) }
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+
+// BenchmarkAblationThreshold sweeps BranchyNet's entropy exit threshold on
+// the trained MNIST system, mapping the exit-rate / accuracy / latency
+// trade-off the paper resolved by per-dataset tuning.
+func BenchmarkAblationThreshold(b *testing.B) {
+	r := sharedRunner(b)
+	sys, std, err := r.System(dataset.MNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi := device.RaspberryPi4()
+	orig := sys.Branchy.Threshold
+	defer func() { sys.Branchy.Threshold = orig }()
+	for i := 0; i < b.N; i++ {
+		for _, th := range []float64{0.01, 0.05, 0.2, 0.5, 1.0, 1.8} {
+			sys.Branchy.Threshold = th
+			exit := sys.Branchy.EarlyExitRate(std.Test)
+			acc := sys.Branchy.Accuracy(std.Test)
+			lat := core.BranchyLatency(pi, sys.Branchy, exit)
+			if i == 0 {
+				b.Logf("threshold %.2f: exit %.1f%% acc %.2f%% latency %.3fms",
+					th, 100*exit, 100*acc, lat*1e3)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBottleneck varies the converting autoencoder's encoder
+// output width (Table I uses 32 for MNIST) and reports reconstruction loss
+// and downstream CBNet accuracy.
+func BenchmarkAblationBottleneck(b *testing.B) {
+	r := sharedRunner(b)
+	sys, std, err := r.System(dataset.MNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := sys.Branchy.InferDataset(std.Train)
+	gen := rng.New(777)
+	inputs, targets, err := core.BuildConversionPairs(std.Train, res, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, width := range []int{8, 32, 128} {
+			arch := models.TableIArch(dataset.MNIST)
+			arch.Widths[2] = width
+			ae := models.NewConvertingAE(arch, models.OutputSigmoid, models.L1Coefficient, rng.New(uint64(width)))
+			h, err := train.Regressor(ae.Net, inputs, targets, train.Config{
+				Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.002), Seed: uint64(width),
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := &core.Pipeline{AE: ae, Classifier: sys.Lightweight}
+			if i == 0 {
+				b.Logf("bottleneck %3d: recon loss %.5f, CBNet accuracy %.2f%%",
+					width, h.FinalLoss(), 100*pipe.Accuracy(std.Test))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationL1 sweeps the activity-regularization coefficient
+// (paper: 1e-7) and reports the encoder activation mass and accuracy.
+func BenchmarkAblationL1(b *testing.B) {
+	r := sharedRunner(b)
+	sys, std, err := r.System(dataset.MNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := sys.Branchy.InferDataset(std.Train)
+	gen := rng.New(888)
+	inputs, targets, err := core.BuildConversionPairs(std.Train, res, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, lambda := range []float32{0, 1e-7, 1e-4} {
+			ae := models.NewConvertingAE(models.TableIArch(dataset.MNIST), models.OutputSigmoid, lambda, rng.New(99))
+			if _, err := train.Regressor(ae.Net, inputs, targets, train.Config{
+				Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.002), Seed: 100,
+			}, ae.Reg.Penalty); err != nil {
+				b.Fatal(err)
+			}
+			pipe := &core.Pipeline{AE: ae, Classifier: sys.Lightweight}
+			if i == 0 {
+				b.Logf("lambda %.0e: CBNet accuracy %.2f%%", lambda, 100*pipe.Accuracy(std.Test))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTarget compares the paper's random-easy-image target
+// against a class-prototype target (mean of the class's easy images).
+func BenchmarkAblationTarget(b *testing.B) {
+	r := sharedRunner(b)
+	sys, std, err := r.System(dataset.MNIST)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := sys.Branchy.InferDataset(std.Train)
+	gen := rng.New(999)
+	inputs, randomTargets, err := core.BuildConversionPairs(std.Train, res, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prototype targets: per-class mean of easy images.
+	protos := make([][]float32, dataset.NumClasses)
+	counts := make([]int, dataset.NumClasses)
+	for i, exited := range res.Exited {
+		if !exited {
+			continue
+		}
+		cls := std.Train.Labels[i]
+		if protos[cls] == nil {
+			protos[cls] = make([]float32, dataset.Pixels)
+		}
+		img := std.Train.Image(i)
+		for j, v := range img {
+			protos[cls][j] += v
+		}
+		counts[cls]++
+	}
+	protoTargets := tensor.New(std.Train.Len(), dataset.Pixels)
+	for i := 0; i < std.Train.Len(); i++ {
+		cls := std.Train.Labels[i]
+		dst := protoTargets.Data[i*dataset.Pixels : (i+1)*dataset.Pixels]
+		if counts[cls] == 0 {
+			copy(dst, randomTargets.Data[i*dataset.Pixels:(i+1)*dataset.Pixels])
+			continue
+		}
+		inv := 1 / float32(counts[cls])
+		for j := range dst {
+			dst[j] = protos[cls][j] * inv
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []struct {
+			name    string
+			targets *tensor.Tensor
+		}{
+			{"random-easy (paper)", randomTargets},
+			{"class-prototype", protoTargets},
+		} {
+			ae := models.NewConvertingAE(models.TableIArch(dataset.MNIST), models.OutputSigmoid, models.L1Coefficient, rng.New(55))
+			if _, err := train.Regressor(ae.Net, inputs, mode.targets, train.Config{
+				Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.002), Seed: 56,
+			}, nil); err != nil {
+				b.Fatal(err)
+			}
+			pipe := &core.Pipeline{AE: ae, Classifier: sys.Lightweight}
+			if i == 0 {
+				b.Logf("target=%s: CBNet accuracy %.2f%%", mode.name, 100*pipe.Accuracy(std.Test))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Host wall-clock benches of the actual inference engine (not the device
+// model): per-image forward passes on this machine's CPU.
+
+func hostBatch(n int) *tensor.Tensor {
+	r := rng.New(7)
+	x := tensor.New(n, dataset.Pixels)
+	x.RandUniform(r, 0, 1)
+	return x
+}
+
+func BenchmarkHostLeNetForward(b *testing.B) {
+	net := models.NewLeNet(rng.New(1))
+	x := hostBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Forward(x, false)
+	}
+}
+
+func BenchmarkHostLightweightForward(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(2), 0.05)
+	net := models.ExtractLightweight(br)
+	x := hostBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Forward(x, false)
+	}
+}
+
+func BenchmarkHostAEForward(b *testing.B) {
+	ae := models.NewTableIAE(dataset.MNIST, rng.New(3))
+	x := hostBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ae.Net.Forward(x, false)
+	}
+}
+
+func BenchmarkHostCBNetPipeline(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	x := hostBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pipe.Infer(x)
+	}
+}
+
+func BenchmarkHostBranchyInfer(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(6), 0.2)
+	x := hostBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = br.Infer(x)
+	}
+}
+
+// BenchmarkHostTrainStep measures one joint-training minibatch.
+func BenchmarkHostTrainStep(b *testing.B) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 32, HardFraction: 0.2, Seed: 8})
+	br := models.NewBranchyLeNet(rng.New(9), 0.05)
+	o := opt.NewAdam(0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.TrainJointly(ds, models.JointTrainConfig{
+			Epochs: 1, BatchSize: 32, Optimizer: o,
+			BranchWeight: 1, MainWeight: 0.5, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

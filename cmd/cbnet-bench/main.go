@@ -1,0 +1,90 @@
+// Command cbnet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cbnet-bench -exp table2                 # one experiment
+//	cbnet-bench -exp all -train 6000        # everything, bigger training set
+//
+// Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", or all")
+		trainN = flag.Int("train", 2000, "training-set size per dataset")
+		testN  = flag.Int("test", 600, "test-set size per dataset")
+		seed   = flag.Uint64("seed", 42, "master seed")
+		reps   = flag.Int("reps", 3, "repetitions for scalability experiments")
+		drop   = flag.Float64("maxdrop", 0.02, "accuracy tolerance for exit-threshold tuning")
+		verb   = flag.Bool("v", false, "verbose training progress")
+	)
+	flag.Parse()
+
+	var log io.Writer
+	if *verb {
+		log = os.Stderr
+	}
+	r := harness.NewRunner(harness.Options{
+		TrainN: *trainN, TestN: *testN, Seed: *seed,
+		Repetitions: *reps, MaxAccuracyDrop: *drop, Log: log,
+	})
+	if err := run(r, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r *harness.Runner, exp string) error {
+	ids := []string{exp}
+	if exp == "all" {
+		ids = harness.ExperimentIDs()
+	}
+	for _, id := range ids {
+		switch id {
+		case "table1":
+			fmt.Println(harness.FormatTableI())
+		case "table2":
+			rows, err := r.TableII()
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatTableII(rows))
+			fmt.Println(harness.SpeedupSummary(rows))
+		case "fig3":
+			pts, err := r.Fig3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatFig3(pts))
+		case "fig5":
+			bars, err := r.Fig5()
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatFig5(bars))
+		case "fig6", "fig7", "fig8":
+			family := map[string]dataset.Family{
+				"fig6": dataset.MNIST, "fig7": dataset.FashionMNIST, "fig8": dataset.KMNIST,
+			}[id]
+			series, err := r.FigScalability(family)
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatScalability(family, series))
+		default:
+			return fmt.Errorf("unknown experiment %q (want %s or all)", id, strings.Join(harness.ExperimentIDs(), ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"cbnet/internal/harness"
+)
+
+func TestRunTable1(t *testing.T) {
+	r := harness.NewRunner(harness.Options{TrainN: 50, TestN: 30, Seed: 1})
+	if err := run(r, "table1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := harness.NewRunner(harness.Options{TrainN: 50, TestN: 30, Seed: 1})
+	if err := run(r, "fig99"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three systems")
+	}
+	r := harness.NewRunner(harness.Options{TrainN: 120, TestN: 60, Seed: 2, Repetitions: 1, MaxAccuracyDrop: 0.2})
+	if err := run(r, "fig3"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+)
+
+// writeCheckpoints produces a minimal untrained checkpoint set so the infer
+// CLI's load-and-run path can be exercised without a training run.
+func writeCheckpoints(t *testing.T, dir string, family dataset.Family) {
+	t.Helper()
+	r := rng.New(1)
+	b := models.NewBranchyLeNet(r, models.DefaultThreshold(family))
+	if err := models.SaveBranchy(filepath.Join(dir, "branchy.ck"), b); err != nil {
+		t.Fatal(err)
+	}
+	ae := models.NewTableIAE(family, r)
+	if err := models.SaveFile(filepath.Join(dir, "ae.ck"), ae.Net); err != nil {
+		t.Fatal(err)
+	}
+	// lenet.ck is written by cbnet-train but not needed by infer; include
+	// it anyway to mirror the real directory layout.
+	if err := models.SaveFile(filepath.Join(dir, "lenet.ck"), models.NewLeNet(r)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferRunsFromCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	writeCheckpoints(t, dir, dataset.FashionMNIST)
+	if err := run(dir, "fmnist", 2, true, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferRejectsUnknownDataset(t *testing.T) {
+	if err := run(t.TempDir(), "svhn", 1, false, 1); err == nil {
+		t.Fatal("expected dataset error")
+	}
+}
+
+func TestInferMissingCheckpoint(t *testing.T) {
+	if err := run(t.TempDir(), "mnist", 1, false, 1); err == nil {
+		t.Fatal("expected missing-checkpoint error")
+	}
+}
+
+func TestInferPipelineMatchesDirectUse(t *testing.T) {
+	// The CLI's reconstruction path must behave like building the pipeline
+	// directly from the same models.
+	dir := t.TempDir()
+	writeCheckpoints(t, dir, dataset.MNIST)
+	r := rng.New(1)
+	b := models.NewBranchyLeNet(r, 0.05)
+	if err := models.LoadBranchy(filepath.Join(dir, "branchy.ck"), b); err != nil {
+		t.Fatal(err)
+	}
+	ae := models.NewTableIAE(dataset.MNIST, r)
+	if err := models.LoadFile(filepath.Join(dir, "ae.ck"), ae.Net); err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.Pipeline{AE: ae, Classifier: models.ExtractLightweight(b)}
+	if pipe.AE == nil || pipe.Classifier == nil {
+		t.Fatal("pipeline incomplete")
+	}
+	// Keep TempDir contents alive until here.
+	if _, err := os.Stat(filepath.Join(dir, "lenet.ck")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command cbnet-serve loads checkpoints written by cbnet-train and serves
+// the CBNet pipeline over HTTP (see internal/serve for the API).
+//
+// Usage:
+//
+//	cbnet-serve -ckpt ./ckpt -dataset fmnist -addr :8080
+//	curl -X POST localhost:8080/classify -H 'Content-Type: application/json' \
+//	     -d '{"pixels": [ ...784 floats... ]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+	"cbnet/internal/serve"
+)
+
+func main() {
+	var (
+		ckpt    = flag.String("ckpt", "ckpt", "checkpoint directory from cbnet-train")
+		name    = flag.String("dataset", "mnist", "dataset family: mnist, fmnist, kmnist")
+		addr    = flag.String("addr", ":8080", "listen address")
+		devName = flag.String("device", "RaspberryPi4", "device profile for latency estimates")
+	)
+	flag.Parse()
+	if err := run(*ckpt, *name, *addr, *devName); err != nil {
+		fmt.Fprintln(os.Stderr, "cbnet-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ckpt, name, addr, devName string) error {
+	var family dataset.Family
+	switch name {
+	case "mnist":
+		family = dataset.MNIST
+	case "fmnist":
+		family = dataset.FashionMNIST
+	case "kmnist":
+		family = dataset.KMNIST
+	default:
+		return fmt.Errorf("unknown dataset %q", name)
+	}
+	prof, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+
+	r := rng.New(1)
+	branchy := models.NewBranchyLeNet(r, models.DefaultThreshold(family))
+	if err := models.LoadBranchy(filepath.Join(ckpt, "branchy.ck"), branchy); err != nil {
+		return fmt.Errorf("loading branchy.ck: %w", err)
+	}
+	ae := models.NewTableIAE(family, r)
+	if err := models.LoadFile(filepath.Join(ckpt, "ae.ck"), ae.Net); err != nil {
+		return fmt.Errorf("loading ae.ck: %w", err)
+	}
+	pipe := &core.Pipeline{AE: ae, Classifier: models.ExtractLightweight(branchy)}
+
+	srv := serve.New(pipe, prof, family)
+	log.Printf("cbnet-serve: %s pipeline on %s (profile %s)", family, addr, prof.Name)
+	return http.ListenAndServe(addr, srv)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFamily(t *testing.T) {
+	for name, ok := range map[string]bool{"mnist": true, "fmnist": true, "kmnist": true, "cifar": false} {
+		_, err := parseFamily(name)
+		if ok && err != nil {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTrainWritesCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training run")
+	}
+	dir := t.TempDir()
+	if err := run("mnist", 150, 60, dir, 9, 1, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"lenet.ck", "branchy.ck", "ae.ck"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing checkpoint %s: %v", f, err)
+		}
+	}
+}
+
+func TestTrainRejectsBadDataset(t *testing.T) {
+	if err := run("imagenet", 10, 10, t.TempDir(), 1, 1, 1, 1, true); err == nil {
+		t.Fatal("expected dataset error")
+	}
+}

@@ -1,0 +1,69 @@
+// Edgelatency: a Table II-style comparison of LeNet, BranchyNet and CBNet
+// across the paper's three platforms (Raspberry Pi 4, cloud instance,
+// cloud + K80) for one dataset, including the paper's power models.
+//
+//	go run ./examples/edgelatency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/train"
+)
+
+func main() {
+	std, err := dataset.LoadStandard(dataset.MNIST, 1000, 300, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultSystemConfig(dataset.MNIST)
+	cfg.Seed = 32
+	sys, err := core.TrainSystem(std, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exitRate := sys.Branchy.EarlyExitRate(std.Test)
+	fmt.Printf("MNIST: accuracy LeNet %.1f%% / BranchyNet %.1f%% / CBNet %.1f%%; exit rate %.1f%%\n\n",
+		100*train.EvalClassifier(sys.LeNet, std.Test),
+		100*sys.Branchy.Accuracy(std.Test),
+		100*sys.CBNet.Accuracy(std.Test),
+		100*exitRate)
+
+	lenetCost := device.SequentialCost(sys.LeNet)
+	cbCost := sys.CBNet.Cost()
+	fmt.Println("device        | model      | latency    | power    | energy/img | savings")
+	fmt.Println("--------------+------------+------------+----------+------------+--------")
+	for _, p := range device.All() {
+		type row struct {
+			name      string
+			lat, kern float64
+		}
+		rows := []row{
+			{"LeNet", p.Latency(lenetCost), p.KernelTime(lenetCost)},
+			{"BranchyNet", core.BranchyLatency(p, sys.Branchy, exitRate), core.BranchyKernelTime(p, sys.Branchy, exitRate)},
+			{"CBNet", p.Latency(cbCost), p.KernelTime(cbCost)},
+		}
+		var lenetE float64
+		for i, r := range rows {
+			e, err := core.EnergyPerImage(p, r.lat, r.kern)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				lenetE = e
+			}
+			savings := "   -"
+			if i > 0 {
+				savings = fmt.Sprintf("%5.1f%%", 100*(1-e/lenetE))
+			}
+			fmt.Printf("%-14s| %-11s| %8.3fms | %6.2fW* | %8.4fmJ | %s\n",
+				p.Name, r.name, r.lat*1e3, e/r.lat, e*1e3, savings)
+		}
+	}
+	fmt.Println("* power from the paper's Eq. 1 (GCI), Eq. 2 (PowerPi) and K80 measured averages")
+}

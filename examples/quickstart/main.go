@@ -1,0 +1,68 @@
+// Quickstart: train a complete CBNet system on a small synthetic
+// Fashion-MNIST workload and compare it with LeNet and BranchyNet.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/train"
+)
+
+func main() {
+	// 1. Generate the dataset (synthetic FMNIST: 23% hard images).
+	std, err := dataset.LoadStandard(dataset.FashionMNIST, 1000, 300, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, %d train / %d test, %.0f%% hard\n",
+		std.Train.Family, std.Train.Len(), std.Test.Len(), 100*std.Train.HardFraction())
+
+	// 2. Run the paper's training workflow: LeNet baseline, BranchyNet
+	// joint training, easy/hard labelling, converting-autoencoder training,
+	// CBNet assembly.
+	cfg := core.DefaultSystemConfig(dataset.FashionMNIST)
+	cfg.Seed = 8
+	cfg.Log = os.Stderr
+	sys, err := core.TrainSystem(std, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compare accuracy.
+	exitRate := sys.Branchy.EarlyExitRate(std.Test)
+	fmt.Printf("\naccuracy:   LeNet %.1f%%   BranchyNet %.1f%%   CBNet %.1f%%\n",
+		100*train.EvalClassifier(sys.LeNet, std.Test),
+		100*sys.Branchy.Accuracy(std.Test),
+		100*sys.CBNet.Accuracy(std.Test))
+	fmt.Printf("early-exit rate: %.1f%% (threshold %.3f nats)\n", 100*exitRate, sys.Branchy.Threshold)
+
+	// 4. Compare modelled latency and energy on the Raspberry Pi 4.
+	pi := device.RaspberryPi4()
+	lenetCost := device.SequentialCost(sys.LeNet)
+	lenetLat := pi.Latency(lenetCost)
+	branchyLat := core.BranchyLatency(pi, sys.Branchy, exitRate)
+	cbLat := pi.Latency(sys.CBNet.Cost())
+	fmt.Printf("\nRaspberry Pi 4 latency per image:\n")
+	fmt.Printf("  LeNet      %.3f ms\n", lenetLat*1e3)
+	fmt.Printf("  BranchyNet %.3f ms (%.2fx vs LeNet)\n", branchyLat*1e3, lenetLat/branchyLat)
+	fmt.Printf("  CBNet      %.3f ms (%.2fx vs LeNet, AE is %.0f%% of it)\n",
+		cbLat*1e3, lenetLat/cbLat, 100*sys.CBNet.AECostShare(pi))
+
+	lenetE, err := core.EnergyPerImage(pi, lenetLat, pi.KernelTime(lenetCost))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cbE, err := core.EnergyPerImage(pi, cbLat, pi.KernelTime(sys.CBNet.Cost()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenergy per image: LeNet %.2f mJ, CBNet %.2f mJ (%.0f%% savings)\n",
+		lenetE*1e3, cbE*1e3, 100*(1-cbE/lenetE))
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+	"cbnet/internal/train"
+)
+
+// smallSystem trains a complete CBNet system on a reduced dataset, shared
+// across integration tests via sync.Once-style caching per test binary.
+var cachedSystem *System
+var cachedStd dataset.Standard
+
+func testSystem(t *testing.T) (*System, dataset.Standard) {
+	t.Helper()
+	if cachedSystem != nil {
+		return cachedSystem, cachedStd
+	}
+	std, err := dataset.LoadStandard(dataset.FashionMNIST, 800, 300, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSystemConfig(dataset.FashionMNIST)
+	cfg.LeNetEpochs, cfg.BranchyEpochs, cfg.AEEpochs = 2, 3, 6
+	cfg.Seed = 78
+	// Small training budget: allow the exit-threshold tuner more accuracy
+	// slack, as the production harness does for reduced runs.
+	cfg.MaxAccuracyDrop = 0.05
+	sys, err := TrainSystem(std, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSystem, cachedStd = sys, std
+	return sys, std
+}
+
+func TestTrainSystemProducesAllModels(t *testing.T) {
+	sys, _ := testSystem(t)
+	if sys.LeNet == nil || sys.Branchy == nil || sys.Lightweight == nil || sys.CBNet == nil {
+		t.Fatal("missing model in trained system")
+	}
+	if len(sys.EasyLabels) != 800 {
+		t.Fatalf("easy labels %d, want 800", len(sys.EasyLabels))
+	}
+	if sys.TrainExitRate <= 0 || sys.TrainExitRate > 1 {
+		t.Fatalf("exit rate %v out of range", sys.TrainExitRate)
+	}
+}
+
+func TestSystemAccuracies(t *testing.T) {
+	sys, std := testSystem(t)
+	lenetAcc := train.EvalClassifier(sys.LeNet, std.Test)
+	branchyAcc := sys.Branchy.Accuracy(std.Test)
+	cbAcc := sys.CBNet.Accuracy(std.Test)
+	t.Logf("accuracies: lenet %.3f branchy %.3f cbnet %.3f", lenetAcc, branchyAcc, cbAcc)
+	if lenetAcc < 0.6 {
+		t.Errorf("LeNet accuracy %v too low", lenetAcc)
+	}
+	if branchyAcc < 0.6 {
+		t.Errorf("BranchyNet accuracy %v too low", branchyAcc)
+	}
+	// The paper's core claim: CBNet maintains similar (or higher) accuracy.
+	if cbAcc < branchyAcc-0.15 {
+		t.Errorf("CBNet accuracy %v much lower than BranchyNet %v", cbAcc, branchyAcc)
+	}
+}
+
+func TestCBNetLatencyShape(t *testing.T) {
+	sys, std := testSystem(t)
+	pi := device.RaspberryPi4()
+	lenetLat := pi.Latency(device.SequentialCost(sys.LeNet))
+	exitRate := sys.Branchy.EarlyExitRate(std.Test)
+	branchyLat := BranchyLatency(pi, sys.Branchy, exitRate)
+	cbLat := pi.Latency(sys.CBNet.Cost())
+	t.Logf("Pi latencies: lenet %.3fms branchy %.3fms cbnet %.3fms (exit %.2f)",
+		lenetLat*1e3, branchyLat*1e3, cbLat*1e3, exitRate)
+	// Paper Table II ordering: CBNet < BranchyNet ≤ LeNet on FMNIST.
+	// BranchyNet gets 5% slack: with this test's small training budget its
+	// exit rate is far below the paper's and the trunk re-entry makes it
+	// LeNet-adjacent.
+	if !(cbLat < branchyLat && branchyLat < lenetLat*1.05) {
+		t.Fatalf("latency ordering violated: cb %v branchy %v lenet %v", cbLat, branchyLat, lenetLat)
+	}
+	// CBNet speedup vs LeNet should be severalfold (paper: 6.75–6.87×).
+	if s := Speedup(lenetLat, cbLat); s < 3 {
+		t.Errorf("CBNet speedup vs LeNet %v, want ≥3", s)
+	}
+}
+
+func TestAECostShareBound(t *testing.T) {
+	sys, _ := testSystem(t)
+	for _, prof := range device.All() {
+		share := sys.CBNet.AECostShare(prof)
+		if share <= 0 || share >= 1 {
+			t.Fatalf("%s AE share %v out of (0,1)", prof.Name, share)
+		}
+		// Paper §IV-D: the autoencoder contributes up to 25% of CBNet time.
+		if prof.Name == "RaspberryPi4" && share > 0.45 {
+			t.Errorf("Pi AE share %v, expected ≲0.3", share)
+		}
+	}
+}
+
+func TestBuildConversionPairs(t *testing.T) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 100, HardFraction: 0.3, Seed: 9})
+	// Synthetic inference result: even indices exited early.
+	res := models.InferenceResult{
+		Pred:          make([]int, 100),
+		Exited:        make([]bool, 100),
+		BranchEntropy: make([]float64, 100),
+	}
+	for i := range res.Exited {
+		res.Exited[i] = i%2 == 0
+		res.BranchEntropy[i] = float64(i) / 100
+	}
+	r := rng.New(10)
+	inputs, targets, err := BuildConversionPairs(ds, res, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inputs.Shape[0] != 100 || targets.Shape[0] != 100 {
+		t.Fatalf("pair shapes %v/%v", inputs.Shape, targets.Shape)
+	}
+	// Every input row must equal the dataset image.
+	for i := 0; i < 100; i++ {
+		img := ds.Image(i)
+		for j := 0; j < dataset.Pixels; j++ {
+			if inputs.Data[i*dataset.Pixels+j] != img[j] {
+				t.Fatalf("input row %d is not the dataset image", i)
+			}
+		}
+	}
+	// Every target must be an easy image of the same class as the input.
+	easyByImage := map[string]int{}
+	for i := 0; i < 100; i++ {
+		if res.Exited[i] {
+			easyByImage[string(imageKey(ds.Image(i)))] = ds.Labels[i]
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := string(imageKey(targets.Data[i*dataset.Pixels : (i+1)*dataset.Pixels]))
+		cls, ok := easyByImage[key]
+		if !ok {
+			t.Fatalf("target %d is not one of the easy images", i)
+		}
+		if cls != ds.Labels[i] {
+			t.Fatalf("target %d has class %d, input has %d", i, cls, ds.Labels[i])
+		}
+	}
+}
+
+func imageKey(img []float32) []byte {
+	out := make([]byte, 0, len(img)*4)
+	for _, v := range img {
+		bits := math.Float32bits(v)
+		out = append(out, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	}
+	return out
+}
+
+func TestBuildConversionPairsFallback(t *testing.T) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 50, HardFraction: 0, Seed: 11})
+	// No sample exited: all classes use the lowest-entropy fallback.
+	res := models.InferenceResult{
+		Pred:          make([]int, 50),
+		Exited:        make([]bool, 50),
+		BranchEntropy: make([]float64, 50),
+	}
+	for i := range res.BranchEntropy {
+		res.BranchEntropy[i] = 1 + float64(i%7)
+	}
+	r := rng.New(12)
+	_, targets, err := BuildConversionPairs(ds, res, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets.Shape[0] != 50 {
+		t.Fatalf("targets %v", targets.Shape)
+	}
+}
+
+func TestBuildConversionPairsErrors(t *testing.T) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 10, HardFraction: 0, Seed: 13})
+	r := rng.New(14)
+	_, _, err := BuildConversionPairs(ds, models.InferenceResult{}, r)
+	if err == nil {
+		t.Fatal("mismatched result sizes should error")
+	}
+}
+
+func TestNormalizeRowsToSum1(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 3, 0, 0, 2, 2}, 3, 2)
+	NormalizeRowsToSum1(x)
+	sums := []float64{1, 0, 1} // zero row untouched
+	for i, want := range sums {
+		var s float64
+		for j := 0; j < 2; j++ {
+			s += float64(x.At(i, j))
+		}
+		if math.Abs(s-want) > 1e-6 {
+			t.Fatalf("row %d sums to %v, want %v", i, s, want)
+		}
+	}
+}
+
+func TestEnergyPerImageAllDevices(t *testing.T) {
+	for _, prof := range device.All() {
+		e, err := EnergyPerImage(prof, 1e-3, 0.5e-3)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if e <= 0 {
+			t.Fatalf("%s: energy %v", prof.Name, e)
+		}
+	}
+	if _, err := EnergyPerImage(device.GCI(), 0, 0); err == nil {
+		t.Fatal("zero latency should error")
+	}
+}
+
+func TestEnergyGPUDutyMatters(t *testing.T) {
+	gpu := device.GCIGPU()
+	busy, err := EnergyPerImage(gpu, 1e-3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := EnergyPerImage(gpu, 1e-3, 0.05e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy <= idle {
+		t.Fatalf("fully-busy GPU energy %v should exceed mostly-idle %v", busy, idle)
+	}
+}
+
+func TestBranchyLatencyMonotoneInExitRate(t *testing.T) {
+	sys, _ := testSystem(t)
+	pi := device.RaspberryPi4()
+	l0 := BranchyLatency(pi, sys.Branchy, 0)
+	l50 := BranchyLatency(pi, sys.Branchy, 0.5)
+	l100 := BranchyLatency(pi, sys.Branchy, 1)
+	if !(l0 > l50 && l50 > l100) {
+		t.Fatalf("latency should fall with exit rate: %v %v %v", l0, l50, l100)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 2); s != 5 {
+		t.Fatalf("speedup %v", s)
+	}
+	if s := Speedup(10, 0); !math.IsInf(s, 1) {
+		t.Fatalf("zero latency speedup %v", s)
+	}
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	std, err := dataset.LoadStandard(dataset.MNIST, 50, 20, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultSystemConfig(dataset.MNIST)
+	bad.LeNetEpochs = 0
+	if _, err := TrainSystem(std, bad); err == nil {
+		t.Fatal("expected config error")
+	}
+	bad2 := DefaultSystemConfig(dataset.MNIST)
+	bad2.BatchSize = 0
+	if _, err := TrainSystem(std, bad2); err == nil {
+		t.Fatal("expected batch size error")
+	}
+}
+
+func TestPipelineConvertProducesImages(t *testing.T) {
+	sys, std := testSystem(t)
+	x, _ := std.Test.Batch(0, 4)
+	conv := sys.CBNet.Convert(x)
+	if conv.Shape[0] != 4 || conv.Shape[1] != dataset.Pixels {
+		t.Fatalf("converted shape %v", conv.Shape)
+	}
+	for _, v := range conv.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("converted pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+// TestConversionReducesEntropy verifies the mechanism behind CBNet: images
+// pushed through the converting autoencoder should look easier to the
+// branch classifier (lower average prediction entropy) than the originals.
+func TestConversionReducesEntropy(t *testing.T) {
+	sys, std := testSystem(t)
+	res := sys.Branchy.InferDataset(std.Test)
+	var hardIdx []int
+	for i, e := range res.Exited {
+		if !e {
+			hardIdx = append(hardIdx, i)
+		}
+	}
+	if len(hardIdx) < 5 {
+		t.Skip("too few hard samples to compare")
+	}
+	hard := std.Test.Select(hardIdx)
+	x, _ := hard.Batch(0, hard.Len())
+	converted := sys.CBNet.Convert(x)
+	convDs := &dataset.Dataset{
+		Family: hard.Family,
+		Images: converted,
+		Labels: hard.Labels,
+		Hard:   hard.Hard,
+	}
+	before := meanEntropy(sys.Branchy, hard)
+	after := meanEntropy(sys.Branchy, convDs)
+	t.Logf("mean branch entropy on hard samples: %.4f → %.4f", before, after)
+	if after >= before {
+		t.Errorf("conversion did not reduce branch entropy (%v → %v)", before, after)
+	}
+}
+
+func meanEntropy(b *models.BranchyNet, ds *dataset.Dataset) float64 {
+	res := b.InferDataset(ds)
+	var s float64
+	for _, h := range res.BranchEntropy {
+		s += h
+	}
+	return s / float64(len(res.BranchEntropy))
+}

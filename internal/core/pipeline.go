@@ -1,0 +1,233 @@
+// Package core implements CBNet, the paper's primary contribution: a
+// converting autoencoder that transforms hard images into easy images of
+// the same class, chained with the lightweight DNN classifier extracted
+// from BranchyNet's early-exit branch (Fig. 2). It also provides the
+// training workflow of Fig. 4 (easy/hard labelling via BranchyNet exits,
+// conversion-pair construction, autoencoder training) and the latency and
+// energy accounting used throughout the evaluation.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/models"
+	"cbnet/internal/nn"
+	"cbnet/internal/power"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// Pipeline is the CBNet inference path: every image is pushed through the
+// converting autoencoder and the resulting easy image through the
+// lightweight classifier. "The inference latency of CBNet is the sum of the
+// execution time spent in the autoencoder and the lightweight DNN
+// classifier" (§I).
+type Pipeline struct {
+	AE         *models.ConvertingAE
+	Classifier *nn.Sequential
+}
+
+// Convert runs only the autoencoder stage, returning the transformed
+// images.
+func (p *Pipeline) Convert(x *tensor.Tensor) *tensor.Tensor {
+	return p.AE.Net.Forward(x, false)
+}
+
+// Infer classifies a batch through the full pipeline.
+func (p *Pipeline) Infer(x *tensor.Tensor) []int {
+	converted := p.Convert(x)
+	logits := p.Classifier.Forward(converted, false)
+	preds := make([]int, x.Shape[0])
+	for i := range preds {
+		preds[i] = logits.Row(i).ArgMax()
+	}
+	return preds
+}
+
+// Accuracy returns pipeline classification accuracy over a dataset.
+func (p *Pipeline) Accuracy(ds *dataset.Dataset) float64 {
+	const bs = 256
+	n := ds.Len()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i0 := 0; i0 < n; i0 += bs {
+		i1 := i0 + bs
+		if i1 > n {
+			i1 = n
+		}
+		x, labels := ds.Batch(i0, i1)
+		for j, pred := range p.Infer(x) {
+			if pred == labels[j] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Cost returns the per-image work of the full pipeline (AE + classifier).
+func (p *Pipeline) Cost() device.Cost {
+	return device.SequentialCost(p.AE.Net).Add(device.SequentialCost(p.Classifier))
+}
+
+// AECostShare returns the fraction of modelled pipeline latency spent in
+// the autoencoder on the given device — the paper reports "up to 25%"
+// (§IV-D).
+func (p *Pipeline) AECostShare(prof device.Profile) float64 {
+	ae := prof.MarginalLatency(device.SequentialCost(p.AE.Net))
+	cls := prof.MarginalLatency(device.SequentialCost(p.Classifier))
+	if ae+cls == 0 {
+		return 0
+	}
+	return ae / (ae + cls)
+}
+
+// BuildConversionPairs constructs the converting autoencoder's training set
+// per §III-A2: every image (easy and hard) is an input; its target is a
+// randomly chosen easy image of the same class. res must come from
+// BranchyNet inference over ds. Classes in which no image exited early fall
+// back to their lowest-entropy images as targets (the closest available
+// notion of "easiest").
+func BuildConversionPairs(ds *dataset.Dataset, res models.InferenceResult, r *rng.RNG) (inputs, targets *tensor.Tensor, err error) {
+	n := ds.Len()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: empty dataset")
+	}
+	if len(res.Exited) != n || len(res.BranchEntropy) != n {
+		return nil, nil, fmt.Errorf("core: inference result covers %d samples, dataset has %d", len(res.Exited), n)
+	}
+	// Per-class pools of easy targets.
+	pools := make([][]int, dataset.NumClasses)
+	for i, exited := range res.Exited {
+		if exited {
+			cls := ds.Labels[i]
+			pools[cls] = append(pools[cls], i)
+		}
+	}
+	// Fallback for classes with no early exits: the 10 lowest-entropy
+	// samples of the class.
+	for cls, pool := range pools {
+		if len(pool) > 0 {
+			continue
+		}
+		var classIdx []int
+		for i, l := range ds.Labels {
+			if l == cls {
+				classIdx = append(classIdx, i)
+			}
+		}
+		if len(classIdx) == 0 {
+			return nil, nil, fmt.Errorf("core: class %d has no samples", cls)
+		}
+		// Partial selection of the 10 smallest entropies.
+		for k := 0; k < len(classIdx) && k < 10; k++ {
+			best := k
+			for j := k + 1; j < len(classIdx); j++ {
+				if res.BranchEntropy[classIdx[j]] < res.BranchEntropy[classIdx[best]] {
+					best = j
+				}
+			}
+			classIdx[k], classIdx[best] = classIdx[best], classIdx[k]
+		}
+		limit := len(classIdx)
+		if limit > 10 {
+			limit = 10
+		}
+		pools[cls] = classIdx[:limit]
+	}
+	inputs = tensor.New(n, dataset.Pixels)
+	targets = tensor.New(n, dataset.Pixels)
+	for i := 0; i < n; i++ {
+		copy(inputs.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], ds.Image(i))
+		pool := pools[ds.Labels[i]]
+		tgt := pool[r.Intn(len(pool))]
+		copy(targets.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], ds.Image(tgt))
+	}
+	return inputs, targets, nil
+}
+
+// NormalizeRowsToSum1 rescales each row to sum to one, the target transform
+// required when the autoencoder uses the paper's Table I softmax output
+// with MSE loss. Zero rows are left untouched.
+func NormalizeRowsToSum1(t *tensor.Tensor) {
+	n, w := t.Shape[0], t.Shape[1]
+	for i := 0; i < n; i++ {
+		row := t.Data[i*w : (i+1)*w]
+		var sum float64
+		for _, v := range row {
+			sum += float64(v)
+		}
+		if sum <= 0 {
+			continue
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// EnergyPerImage evaluates the paper's energy model (§IV-C) for one
+// inference: Eq. 2 on the Pi, Eq. 1 on the cloud instance, and the
+// measured-power path (CPU 17.7 W + duty-cycled GPU 79 W) on the K80,
+// multiplied by the modelled latency.
+func EnergyPerImage(prof device.Profile, latency, kernelTime float64) (float64, error) {
+	if latency <= 0 {
+		return 0, fmt.Errorf("core: non-positive latency %v", latency)
+	}
+	var watts float64
+	var err error
+	switch {
+	case prof.HasGPU:
+		duty := kernelTime / latency
+		if duty > 1 {
+			duty = 1
+		}
+		watts, err = power.K80Power(duty)
+	case prof.Name == "RaspberryPi4":
+		watts, err = power.PiPower(prof.Utilization)
+	default:
+		watts, err = power.GCIPower(prof.Utilization)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return power.Energy(watts, latency)
+}
+
+// BranchyLatency returns BranchyNet's expected per-image latency: the stem
+// and branch run for every sample, and samples that fail the entropy test
+// additionally pay a full main-network pass (stem + trunk).
+//
+// The main-network re-entry follows the paper's measurements: its reported
+// latencies imply a non-exited marginal cost at least as large as a full
+// LeNet pass (e.g. FMNIST: (7.248−light)/0.231 ≈ 25 ms on the Pi), which
+// matches the original BranchyNet implementation where the main branch is
+// the complete network evaluated from the input rather than from cached
+// stem activations.
+func BranchyLatency(prof device.Profile, b *models.BranchyNet, exitRate float64) float64 {
+	lightPath := device.SequentialCost(b.Stem).Add(device.SequentialCost(b.Branch))
+	mainNet := device.SequentialCost(b.Stem).Add(device.SequentialCost(b.Trunk))
+	return prof.Latency(lightPath) + (1-exitRate)*prof.MarginalLatency(mainNet)
+}
+
+// BranchyKernelTime returns the expected kernel-only time for the same
+// path, used for GPU duty estimation.
+func BranchyKernelTime(prof device.Profile, b *models.BranchyNet, exitRate float64) float64 {
+	lightPath := device.SequentialCost(b.Stem).Add(device.SequentialCost(b.Branch))
+	mainNet := device.SequentialCost(b.Stem).Add(device.SequentialCost(b.Trunk))
+	return prof.KernelTime(lightPath) + (1-exitRate)*prof.KernelTime(mainNet)
+}
+
+// Speedup returns baseline/lat, guarding against division by zero.
+func Speedup(baseline, lat float64) float64 {
+	if lat <= 0 {
+		return math.Inf(1)
+	}
+	return baseline / lat
+}

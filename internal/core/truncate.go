@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/loss"
+	"cbnet/internal/metrics"
+	"cbnet/internal/models"
+	"cbnet/internal/nn"
+	"cbnet/internal/opt"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// TruncationCandidate reports one depth evaluated by SelectTruncation.
+type TruncationCandidate struct {
+	K         int
+	Accuracy  float64 // head-trained truncated-network accuracy on val
+	EasyRate  float64 // fraction of val classified confidently (proxy for easy share)
+	LatencyMS float64 // modelled ms/image on the target device
+}
+
+// TruncationChoice is SelectTruncation's outcome.
+type TruncationChoice struct {
+	K          int
+	Network    *nn.Sequential
+	Candidates []TruncationCandidate
+}
+
+// TruncationOptions configures the iterative depth search.
+type TruncationOptions struct {
+	// MinAccuracy a depth must reach for selection (on the validation set).
+	MinAccuracy float64
+	// HeadEpochs of Adam on the fresh output head (prefix frozen).
+	HeadEpochs int
+	BatchSize  int
+	LR         float32
+	// ConfidenceThreshold (normalized-entropy) used for the EasyRate proxy.
+	ConfidenceThreshold float64
+	Seed                uint64
+	Log                 io.Writer
+}
+
+func (o *TruncationOptions) fill() {
+	if o.HeadEpochs == 0 {
+		o.HeadEpochs = 3
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.LR == 0 {
+		o.LR = 0.002
+	}
+	if o.ConfidenceThreshold == 0 {
+		o.ConfidenceThreshold = 0.5
+	}
+}
+
+// SelectTruncation implements §III-B's iterative procedure for
+// non-BranchyNet DNNs: "a reasonable number of layers K can be found
+// iteratively starting with K = 1, guided by the resulting number of hard
+// and easy images in a dataset" — it grows the truncation depth until the
+// lightweight network is accurate enough, training only the fresh output
+// head at each depth, and returns the shallowest depth meeting the floor
+// (or the deepest candidate when none does).
+func SelectTruncation(lenet *nn.Sequential, trainSet, valSet *dataset.Dataset, prof device.Profile, o TruncationOptions) (TruncationChoice, error) {
+	o.fill()
+	maxK, err := models.MaxTruncationDepth(lenet)
+	if err != nil {
+		return TruncationChoice{}, err
+	}
+	r := rng.New(o.Seed ^ 0x72C4)
+	var choice TruncationChoice
+	for k := 1; k <= maxK; k++ {
+		net, err := models.TruncateLeNet(lenet, k, r.Split())
+		if err != nil {
+			return TruncationChoice{}, err
+		}
+		if err := trainHead(net, trainSet, o); err != nil {
+			return TruncationChoice{}, fmt.Errorf("core: head training at k=%d: %w", k, err)
+		}
+		cand := TruncationCandidate{
+			K:         k,
+			Accuracy:  evalAccuracy(net, valSet),
+			EasyRate:  confidentRate(net, valSet, o.ConfidenceThreshold),
+			LatencyMS: prof.Latency(device.SequentialCost(net)) * 1e3,
+		}
+		choice.Candidates = append(choice.Candidates, cand)
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "truncation k=%d: acc %.4f easy-rate %.4f latency %.3fms\n",
+				k, cand.Accuracy, cand.EasyRate, cand.LatencyMS)
+		}
+		choice.K, choice.Network = k, net
+		if cand.Accuracy >= o.MinAccuracy {
+			return choice, nil
+		}
+	}
+	// No depth met the floor; the deepest evaluated candidate stands.
+	return choice, nil
+}
+
+// trainHead trains only the output head of a truncated network.
+func trainHead(net *nn.Sequential, ds *dataset.Dataset, o TruncationOptions) error {
+	head := models.HeadParams(net)
+	if len(head) == 0 {
+		return fmt.Errorf("core: truncated network has no head")
+	}
+	optimizer := opt.NewAdam(o.LR)
+	r := rng.New(o.Seed ^ 0x9EAD)
+	n := ds.Len()
+	xBuf := tensor.New(o.BatchSize, dataset.Pixels)
+	for epoch := 0; epoch < o.HeadEpochs; epoch++ {
+		perm := r.Perm(n)
+		for i0 := 0; i0 < n; i0 += o.BatchSize {
+			i1 := i0 + o.BatchSize
+			if i1 > n {
+				i1 = n
+			}
+			bs := i1 - i0
+			labels := make([]int, bs)
+			for j, p := range perm[i0:i1] {
+				copy(xBuf.Data[j*dataset.Pixels:(j+1)*dataset.Pixels], ds.Image(p))
+				labels[j] = ds.Labels[p]
+			}
+			x := tensor.FromSlice(xBuf.Data[:bs*dataset.Pixels], bs, dataset.Pixels)
+			logits := net.Forward(x, true)
+			_, grad := loss.CrossEntropy(logits, labels)
+			net.Backward(grad)
+			// Freeze the inherited prefix: discard its gradients and step
+			// only the head.
+			for _, p := range net.Params() {
+				isHead := false
+				for _, hp := range head {
+					if p == hp {
+						isHead = true
+					}
+				}
+				if !isHead {
+					p.ZeroGrad()
+				}
+			}
+			optimizer.Step(head)
+		}
+	}
+	return nil
+}
+
+func evalAccuracy(net *nn.Sequential, ds *dataset.Dataset) float64 {
+	const bs = 256
+	n := ds.Len()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i0 := 0; i0 < n; i0 += bs {
+		i1 := i0 + bs
+		if i1 > n {
+			i1 = n
+		}
+		x, labels := ds.Batch(i0, i1)
+		logits := net.Forward(x, false)
+		correct += int(loss.Accuracy(logits, labels)*float64(i1-i0) + 0.5)
+	}
+	return float64(correct) / float64(n)
+}
+
+// confidentRate returns the fraction of samples whose softmax normalized
+// entropy falls below th — the §III-B "resulting number of easy images"
+// signal guiding the depth choice.
+func confidentRate(net *nn.Sequential, ds *dataset.Dataset, th float64) float64 {
+	const bs = 256
+	n := ds.Len()
+	if n == 0 {
+		return 0
+	}
+	confident := 0
+	probs := make([]float32, dataset.NumClasses)
+	for i0 := 0; i0 < n; i0 += bs {
+		i1 := i0 + bs
+		if i1 > n {
+			i1 = n
+		}
+		x, _ := ds.Batch(i0, i1)
+		logits := net.Forward(x, false)
+		for i := 0; i < i1-i0; i++ {
+			copy(probs, logits.Data[i*dataset.NumClasses:(i+1)*dataset.NumClasses])
+			nn.SoftmaxRow(probs)
+			if metrics.NormalizedEntropy(probs) < th {
+				confident++
+			}
+		}
+	}
+	return float64(confident) / float64(n)
+}

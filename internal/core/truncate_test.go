@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/models"
+	"cbnet/internal/opt"
+	"cbnet/internal/rng"
+	"cbnet/internal/train"
+)
+
+func TestSelectTruncationPrefersShallow(t *testing.T) {
+	std, err := dataset.LoadStandard(dataset.MNIST, 400, 150, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(62)
+	lenet := models.NewLeNet(r)
+	if _, err := train.Classifier(lenet, std.Train, train.Config{
+		Epochs: 2, BatchSize: 32, Optimizer: opt.NewAdam(0.002), Seed: 63,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	choice, err := SelectTruncation(lenet, std.Train, std.Test, device.RaspberryPi4(), TruncationOptions{
+		MinAccuracy: 0.5, // easily met, so the shallowest depth should win
+		HeadEpochs:  2,
+		Seed:        64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.K != 1 {
+		t.Errorf("expected shallowest viable depth 1, got %d (candidates %+v)", choice.K, choice.Candidates)
+	}
+	if choice.Network == nil {
+		t.Fatal("no network returned")
+	}
+	if len(choice.Candidates) == 0 {
+		t.Fatal("no candidates recorded")
+	}
+	// The chosen truncated net must be cheaper than the full LeNet.
+	pi := device.RaspberryPi4()
+	if pi.Latency(device.SequentialCost(choice.Network)) >= pi.Latency(device.SequentialCost(lenet)) {
+		t.Error("truncated network not cheaper than full LeNet")
+	}
+}
+
+func TestSelectTruncationFallsBackToDeepest(t *testing.T) {
+	std, err := dataset.LoadStandard(dataset.MNIST, 200, 80, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(66)
+	lenet := models.NewLeNet(r)
+	// Untrained LeNet: no depth can reach an impossible floor, so the
+	// deepest candidate is returned.
+	choice, err := SelectTruncation(lenet, std.Train, std.Test, device.GCI(), TruncationOptions{
+		MinAccuracy: 1.1, // unreachable
+		HeadEpochs:  1,
+		Seed:        67,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK, err := models.MaxTruncationDepth(lenet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.K != maxK {
+		t.Errorf("fallback depth %d, want deepest %d", choice.K, maxK)
+	}
+	if len(choice.Candidates) != maxK {
+		t.Errorf("evaluated %d candidates, want %d", len(choice.Candidates), maxK)
+	}
+}
+
+func TestTruncateLeNetDepths(t *testing.T) {
+	r := rng.New(68)
+	lenet := models.NewLeNet(r)
+	maxK, err := models.MaxTruncationDepth(lenet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxK != 4 { // conv1, conv2, conv3, fc1 blocks (fc2 is the original head)
+		t.Fatalf("max truncation depth %d, want 4", maxK)
+	}
+	for k := 1; k <= maxK; k++ {
+		net, err := models.TruncateLeNet(lenet, k, r)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if w, err := net.OutSize(dataset.Pixels); err != nil || w != dataset.NumClasses {
+			t.Fatalf("k=%d: out %d, %v", k, w, err)
+		}
+	}
+	if _, err := models.TruncateLeNet(lenet, 0, r); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := models.TruncateLeNet(lenet, maxK+1, r); err == nil {
+		t.Fatal("k beyond max should error")
+	}
+}
+
+func TestTruncateSharesPrefixParams(t *testing.T) {
+	r := rng.New(69)
+	lenet := models.NewLeNet(r)
+	net, err := models.TruncateLeNet(lenet, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenet.Params()[0].Value.Data[0] = 777
+	if net.Params()[0].Value.Data[0] != 777 {
+		t.Fatal("truncated network does not share prefix parameters")
+	}
+	head := models.HeadParams(net)
+	if len(head) != 2 {
+		t.Fatalf("head params %d, want 2 (W and b)", len(head))
+	}
+}
+
+func TestTruncationCostDecreasesWithSmallerK(t *testing.T) {
+	r := rng.New(70)
+	lenet := models.NewLeNet(r)
+	pi := device.RaspberryPi4()
+	prev := 0.0
+	for k := 1; k <= 4; k++ {
+		net, err := models.TruncateLeNet(lenet, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := pi.Latency(device.SequentialCost(net))
+		if k > 1 && lat <= prev {
+			t.Fatalf("latency at k=%d (%v) not above k=%d (%v)", k, lat, k-1, prev)
+		}
+		prev = lat
+	}
+}

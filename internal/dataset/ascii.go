@@ -1,0 +1,41 @@
+package dataset
+
+import "strings"
+
+// asciiRamp maps intensity to characters, dark to bright.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderASCII renders a flattened 28×28 image as ASCII art, one canvas row
+// per line, for terminal demos and debugging.
+func RenderASCII(img []float32) string {
+	var sb strings.Builder
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			v := img[y*Side+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			idx := int(v * float32(len(asciiRamp)-1))
+			sb.WriteByte(asciiRamp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderASCIIPair renders two images side by side with a gutter, used to
+// show original vs converted images.
+func RenderASCIIPair(left, right []float32, gutter string) string {
+	l := strings.Split(strings.TrimRight(RenderASCII(left), "\n"), "\n")
+	r := strings.Split(strings.TrimRight(RenderASCII(right), "\n"), "\n")
+	var sb strings.Builder
+	for i := range l {
+		sb.WriteString(l[i])
+		sb.WriteString(gutter)
+		sb.WriteString(r[i])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

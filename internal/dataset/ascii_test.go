@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCIIShape(t *testing.T) {
+	img := make([]float32, Pixels)
+	img[0] = 1 // top-left bright
+	out := RenderASCII(img)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != Side {
+		t.Fatalf("lines %d, want %d", len(lines), Side)
+	}
+	for i, l := range lines {
+		if len(l) != Side {
+			t.Fatalf("line %d width %d, want %d", i, len(l), Side)
+		}
+	}
+	if lines[0][0] != '@' {
+		t.Fatalf("bright pixel rendered as %q, want '@'", lines[0][0])
+	}
+	if lines[1][0] != ' ' {
+		t.Fatalf("dark pixel rendered as %q, want ' '", lines[1][0])
+	}
+}
+
+func TestRenderASCIIClampsOutOfRange(t *testing.T) {
+	img := make([]float32, Pixels)
+	img[0] = 2.5
+	img[1] = -1
+	out := RenderASCII(img)
+	if out[0] != '@' || out[1] != ' ' {
+		t.Fatalf("clamping failed: %q %q", out[0], out[1])
+	}
+}
+
+func TestRenderASCIIPair(t *testing.T) {
+	a := make([]float32, Pixels)
+	b := make([]float32, Pixels)
+	out := RenderASCIIPair(a, b, " | ")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != Side {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if len(lines[0]) != Side*2+3 {
+		t.Fatalf("pair line width %d, want %d", len(lines[0]), Side*2+3)
+	}
+	if !strings.Contains(lines[0], " | ") {
+		t.Fatal("gutter missing")
+	}
+}

@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"math"
+
+	"cbnet/internal/rng"
+)
+
+// Affine resamples img (Side×Side) through a rotation by angle (radians),
+// isotropic scale, and translation (tx, ty), all about the image centre,
+// using bilinear interpolation with zero fill outside the source.
+func Affine(img []float32, angle, scale, tx, ty float64) []float32 {
+	out := make([]float32, Pixels)
+	cx, cy := float64(Side-1)/2, float64(Side-1)/2
+	sin, cos := math.Sin(-angle), math.Cos(-angle) // inverse map
+	inv := 1 / scale
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			// Inverse transform: destination → source.
+			dx := (float64(x) - cx - tx) * inv
+			dy := (float64(y) - cy - ty) * inv
+			sx := cos*dx - sin*dy + cx
+			sy := sin*dx + cos*dy + cy
+			out[y*Side+x] = bilinear(img, sx, sy)
+		}
+	}
+	return out
+}
+
+func bilinear(img []float32, x, y float64) float32 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := float32(x-x0), float32(y-y0)
+	ix, iy := int(x0), int(y0)
+	get := func(x, y int) float32 {
+		if x < 0 || x >= Side || y < 0 || y >= Side {
+			return 0
+		}
+		return img[y*Side+x]
+	}
+	top := get(ix, iy)*(1-fx) + get(ix+1, iy)*fx
+	bot := get(ix, iy+1)*(1-fx) + get(ix+1, iy+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// GaussianBlur applies a separable gaussian filter with the given sigma.
+// Sigma ≤ 0 returns a copy unchanged.
+func GaussianBlur(img []float32, sigma float64) []float32 {
+	out := make([]float32, Pixels)
+	copy(out, img)
+	if sigma <= 0 {
+		return out
+	}
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float32, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kernel[i+radius] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range kernel {
+		kernel[i] *= inv
+	}
+	tmp := make([]float32, Pixels)
+	// Horizontal pass.
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			var acc float32
+			for k := -radius; k <= radius; k++ {
+				xx := x + k
+				if xx < 0 {
+					xx = 0
+				} else if xx >= Side {
+					xx = Side - 1
+				}
+				acc += out[y*Side+xx] * kernel[k+radius]
+			}
+			tmp[y*Side+x] = acc
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			var acc float32
+			for k := -radius; k <= radius; k++ {
+				yy := y + k
+				if yy < 0 {
+					yy = 0
+				} else if yy >= Side {
+					yy = Side - 1
+				}
+				acc += tmp[yy*Side+x] * kernel[k+radius]
+			}
+			out[y*Side+x] = acc
+		}
+	}
+	return out
+}
+
+// AddNoise adds clamped gaussian pixel noise with the given stddev in place.
+func AddNoise(img []float32, r *rng.RNG, std float64) {
+	for i := range img {
+		v := img[i] + float32(std)*r.NormFloat32()
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		img[i] = v
+	}
+}
+
+// Occlude zeroes a random size×size block in place, simulating the
+// low-quality/partially-hidden inputs the paper calls hard.
+func Occlude(img []float32, r *rng.RNG, size int) {
+	if size <= 0 {
+		return
+	}
+	if size > Side {
+		size = Side
+	}
+	x0 := r.Intn(Side - size + 1)
+	y0 := r.Intn(Side - size + 1)
+	for y := y0; y < y0+size; y++ {
+		for x := x0; x < x0+size; x++ {
+			img[y*Side+x] = 0
+		}
+	}
+}
+
+// ScaleContrast multiplies pixel intensities by factor in place, clamping
+// to [0,1]; factors below 1 wash the glyph out toward the background.
+func ScaleContrast(img []float32, factor float64) {
+	for i := range img {
+		v := img[i] * float32(factor)
+		if v > 1 {
+			v = 1
+		}
+		img[i] = v
+	}
+}
+
+// Clamp01 clamps all pixels into [0,1] in place.
+func Clamp01(img []float32) {
+	for i := range img {
+		if img[i] < 0 {
+			img[i] = 0
+		} else if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+}

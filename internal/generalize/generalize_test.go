@@ -1,0 +1,138 @@
+package generalize
+
+import (
+	"testing"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+)
+
+func TestHardnessScoreSeparatesEasyHard(t *testing.T) {
+	r := rng.New(1)
+	for _, f := range []dataset.Family{dataset.MNIST, dataset.FashionMNIST, dataset.KMNIST} {
+		var easySum, hardSum float64
+		const n = 40
+		for i := 0; i < n; i++ {
+			easySum += HardnessScore(dataset.RenderSample(f, i%dataset.NumClasses, false, r))
+			hardSum += HardnessScore(dataset.RenderSample(f, i%dataset.NumClasses, true, r))
+		}
+		if hardSum <= easySum {
+			t.Errorf("%v: hard mean score %.3f not above easy %.3f", f, hardSum/n, easySum/n)
+		}
+	}
+}
+
+func TestHardnessScorePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HardnessScore(make([]float32, 10))
+}
+
+func TestLabelEasyHeuristicCalibration(t *testing.T) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.FashionMNIST, N: 600, HardFraction: 0.25, Seed: 2})
+	easy, err := LabelEasyHeuristic(ds, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nEasy := 0
+	for _, e := range easy {
+		if e {
+			nEasy++
+		}
+	}
+	if nEasy < 440 || nEasy > 460 {
+		t.Fatalf("easy count %d, want ≈450", nEasy)
+	}
+	// The heuristic should agree with the generator's ground truth much
+	// better than chance (chance for a 25/75 split ≈ 62.5%).
+	if agree := HeuristicAgreement(ds, easy); agree < 0.75 {
+		t.Errorf("heuristic agreement %.3f, want ≥0.75", agree)
+	}
+}
+
+func TestLabelEasyHeuristicErrors(t *testing.T) {
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 10, HardFraction: 0, Seed: 3})
+	if _, err := LabelEasyHeuristic(ds, 1.0); err == nil {
+		t.Fatal("hard fraction 1.0 should error")
+	}
+	if _, err := LabelEasyHeuristic(ds, -0.1); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+}
+
+func TestExtractEncoderEndsAtBottleneck(t *testing.T) {
+	r := rng.New(4)
+	ae := models.NewTableIAE(dataset.MNIST, r)
+	enc := ExtractEncoder(ae)
+	w, err := enc.OutSize(dataset.Pixels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != ae.BottleneckWidth() {
+		t.Fatalf("encoder output %d, want bottleneck %d", w, ae.BottleneckWidth())
+	}
+	// Shares parameters with the AE.
+	ae.Net.Params()[0].Value.Data[0] = 321
+	if enc.Params()[0].Value.Data[0] != 321 {
+		t.Fatal("encoder does not share AE parameters")
+	}
+}
+
+func TestNewLatentHeadShapes(t *testing.T) {
+	r := rng.New(5)
+	head := NewLatentHead(32, r)
+	if w, err := head.OutSize(32); err != nil || w != dataset.NumClasses {
+		t.Fatalf("head out %d, %v", w, err)
+	}
+	tiny := NewLatentHead(4, r)
+	if w, err := tiny.OutSize(4); err != nil || w != dataset.NumClasses {
+		t.Fatalf("tiny head out %d, %v", w, err)
+	}
+}
+
+// TestEncoderPipelineEndToEnd trains a full system, builds the decoder-free
+// variant, and verifies it is cheaper than the full CBNet pipeline while
+// staying in a usable accuracy band.
+func TestEncoderPipelineEndToEnd(t *testing.T) {
+	std, err := dataset.LoadStandard(dataset.MNIST, 600, 200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultSystemConfig(dataset.MNIST)
+	cfg.LeNetEpochs, cfg.BranchyEpochs, cfg.AEEpochs = 1, 3, 6
+	cfg.Seed = 7
+	sys, err := core.TrainSystem(std, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := BuildEncoderPipeline(sys.CBNet.AE, std.Train, TrainOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ep.Accuracy(std.Test)
+	full := sys.CBNet.Accuracy(std.Test)
+	t.Logf("decoder-free accuracy %.3f vs full CBNet %.3f", acc, full)
+	if acc < 0.5 {
+		t.Errorf("decoder-free accuracy %.3f unusable", acc)
+	}
+	pi := device.RaspberryPi4()
+	if pi.Latency(ep.Cost()) >= pi.Latency(sys.CBNet.Cost()) {
+		t.Errorf("decoder-free pipeline (%.4gms) should be cheaper than full CBNet (%.4gms)",
+			pi.Latency(ep.Cost())*1e3, pi.Latency(sys.CBNet.Cost())*1e3)
+	}
+}
+
+func TestBuildEncoderPipelineEmptyDataset(t *testing.T) {
+	r := rng.New(9)
+	ae := models.NewTableIAE(dataset.MNIST, r)
+	empty := &dataset.Dataset{Family: dataset.MNIST}
+	if _, err := BuildEncoderPipeline(ae, empty, TrainOptions{}); err == nil {
+		t.Fatal("expected empty-dataset error")
+	}
+}

@@ -1,0 +1,122 @@
+// Package generalize implements the extensions sketched in the paper's
+// conclusion (§V): eliminating the dependency on BranchyNet for easy/hard
+// classification via an image-statistics hardness heuristic, and removing
+// the decoder block by classifying directly in the converting autoencoder's
+// latent space.
+package generalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cbnet/internal/dataset"
+)
+
+// HardnessScore rates how hard a 28×28 image looks from pixel statistics
+// alone — no trained network required. Higher means harder. The score
+// combines the degradations the hard pipeline (and real-world hard inputs)
+// exhibit: blur (low Laplacian energy), heavy noise (high median absolute
+// pixel-to-pixel variation off-glyph), and washed-out contrast.
+func HardnessScore(img []float32) float64 {
+	if len(img) != dataset.Pixels {
+		panic(fmt.Sprintf("generalize: image length %d, want %d", len(img), dataset.Pixels))
+	}
+	const side = dataset.Side
+
+	// Sharpness: mean absolute 4-neighbour Laplacian over inked pixels.
+	var lap float64
+	var lapN int
+	for y := 1; y < side-1; y++ {
+		for x := 1; x < side-1; x++ {
+			c := float64(img[y*side+x])
+			if c < 0.05 {
+				continue
+			}
+			l := 4*c - float64(img[(y-1)*side+x]) - float64(img[(y+1)*side+x]) -
+				float64(img[y*side+x-1]) - float64(img[y*side+x+1])
+			lap += math.Abs(l)
+			lapN++
+		}
+	}
+	sharp := 0.0
+	if lapN > 0 {
+		sharp = lap / float64(lapN)
+	}
+
+	// Contrast: the spread between bright and dark percentiles.
+	sorted := make([]float64, len(img))
+	for i, v := range img {
+		sorted[i] = float64(v)
+	}
+	sort.Float64s(sorted)
+	p95 := sorted[len(sorted)*95/100]
+	p50 := sorted[len(sorted)/2]
+	contrast := p95 - p50
+
+	// Background activity: mean intensity of the dimmest half of pixels —
+	// clean glyphs have near-zero backgrounds, noisy ones don't.
+	var bg float64
+	for _, v := range sorted[:len(sorted)/2] {
+		bg += v
+	}
+	bg /= float64(len(sorted) / 2)
+
+	// Hard images are blurry (low sharp), washed out (low contrast) and
+	// noisy (high bg). Weights scale each term to comparable magnitude.
+	return 1.2*(1-clamp01(sharp)) + 1.0*(1-clamp01(contrast*1.4)) + 3.0*clamp01(bg*4)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// LabelEasyHeuristic labels each dataset sample easy (true) using only
+// HardnessScore: the easiest `1−hardFraction` of samples are easy. It is
+// the BranchyNet-free substitute for the Fig. 4 labelling stage.
+func LabelEasyHeuristic(ds *dataset.Dataset, hardFraction float64) ([]bool, error) {
+	if hardFraction < 0 || hardFraction >= 1 {
+		return nil, fmt.Errorf("generalize: hard fraction %v outside [0,1)", hardFraction)
+	}
+	n := ds.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("generalize: empty dataset")
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	s := make([]scored, n)
+	for i := 0; i < n; i++ {
+		s[i] = scored{i, HardnessScore(ds.Image(i))}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].score < s[b].score })
+	easy := make([]bool, n)
+	cut := n - int(hardFraction*float64(n)+0.5)
+	for rank, sc := range s {
+		easy[sc.idx] = rank < cut
+	}
+	return easy, nil
+}
+
+// HeuristicAgreement returns the fraction of samples where the heuristic
+// labelling matches the generator's ground-truth hard flags, a calibration
+// diagnostic.
+func HeuristicAgreement(ds *dataset.Dataset, easy []bool) float64 {
+	if ds.Len() == 0 || len(easy) != ds.Len() {
+		return 0
+	}
+	agree := 0
+	for i, e := range easy {
+		if e != ds.Hard[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(ds.Len())
+}

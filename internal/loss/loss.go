@@ -1,0 +1,98 @@
+// Package loss implements the training objectives used in the paper:
+// softmax cross-entropy for the classifiers (LeNet, BranchyNet branches) and
+// mean squared error for the converting autoencoder's reconstruction loss.
+//
+// Every loss returns both the scalar value and the gradient with respect to
+// the network output, averaged over the batch, ready to feed into
+// Sequential.Backward.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"cbnet/internal/nn"
+	"cbnet/internal/tensor"
+)
+
+// MSE computes the mean squared error between pred and target (identical
+// shapes): L = (1/(N·D)) Σ (pred−target)², matching the paper's
+// "reconstruction loss ... mean squared error between the model output and
+// the target output". The returned gradient is dL/dpred.
+func MSE(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("loss: MSE shape mismatch %v vs %v", pred.Shape, target.Shape))
+	}
+	n := len(pred.Data)
+	if n == 0 {
+		return 0, pred.Clone()
+	}
+	grad := tensor.New(pred.Shape...)
+	var sum float64
+	scale := 2 / float64(n)
+	for i, p := range pred.Data {
+		d := float64(p) - float64(target.Data[i])
+		sum += d * d
+		grad.Data[i] = float32(scale * d)
+	}
+	return sum / float64(n), grad
+}
+
+// CrossEntropy computes the fused softmax + cross-entropy loss for logits of
+// shape (batch, classes) against integer labels. It returns the mean
+// negative log-likelihood and dL/dlogits = (softmax(logits) − onehot)/batch.
+//
+// Fusing the softmax keeps the gradient numerically exact; the classifier
+// networks therefore end in a raw Dense layer and apply softmax only for
+// confidence estimation at inference time.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(logits.Shape) != 2 {
+		panic(fmt.Sprintf("loss: CrossEntropy logits shape %v, want 2-D", logits.Shape))
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("loss: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, k)
+	var total float64
+	for i := 0; i < n; i++ {
+		lbl := labels[i]
+		if lbl < 0 || lbl >= k {
+			panic(fmt.Sprintf("loss: label %d outside [0,%d)", lbl, k))
+		}
+		row := logits.Data[i*k : (i+1)*k]
+		probs := grad.Data[i*k : (i+1)*k]
+		copy(probs, row)
+		nn.SoftmaxRow(probs)
+		p := float64(probs[lbl])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+		probs[lbl] -= 1
+	}
+	grad.Scale(1 / float32(n))
+	return total / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		best, arg := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, arg = v, j+1
+			}
+		}
+		if arg == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

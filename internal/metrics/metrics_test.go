@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cbnet/internal/rng"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	probs := []float32{0.25, 0.25, 0.25, 0.25}
+	if h := Entropy(probs); math.Abs(h-math.Log(4)) > 1e-6 {
+		t.Fatalf("entropy %v, want ln4", h)
+	}
+}
+
+func TestEntropyDelta(t *testing.T) {
+	probs := []float32{1, 0, 0, 0}
+	if h := Entropy(probs); h != 0 {
+		t.Fatalf("entropy of delta = %v, want 0", h)
+	}
+}
+
+func TestNormalizedEntropyBounds(t *testing.T) {
+	if v := NormalizedEntropy([]float32{0.5, 0.5}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("normalized entropy of uniform = %v, want 1", v)
+	}
+	if v := NormalizedEntropy([]float32{1}); v != 0 {
+		t.Fatalf("single-class entropy = %v, want 0", v)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(1, 2)
+	cm.Add(2, 2)
+	if cm.Total() != 4 {
+		t.Fatalf("total %d", cm.Total())
+	}
+	if a := cm.Accuracy(); math.Abs(a-0.75) > 1e-9 {
+		t.Fatalf("accuracy %v", a)
+	}
+	rec := cm.PerClassRecall()
+	if rec[0] != 1 || rec[1] != 0 || rec[2] != 1 {
+		t.Fatalf("recall %v", rec)
+	}
+}
+
+func TestConfusionMatrixEmptyClassNaN(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	cm.Add(0, 0)
+	rec := cm.PerClassRecall()
+	if !math.IsNaN(rec[1]) {
+		t.Fatalf("recall of empty class = %v, want NaN", rec[1])
+	}
+}
+
+func TestConfusionMatrixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusionMatrix(2).Add(2, 0)
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-9 || math.Abs(std-2) > 1e-9 {
+		t.Fatalf("mean/std = %v/%v, want 5/2", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatalf("empty MeanStd = %v/%v", m, s)
+	}
+}
+
+// Property: normalized entropy of any distribution lies in [0, 1].
+func TestQuickNormalizedEntropyRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := r.Intn(10) + 2
+		probs := make([]float32, k)
+		var sum float32
+		for i := range probs {
+			probs[i] = r.Float32()
+			sum += probs[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+		h := NormalizedEntropy(probs)
+		return h >= 0 && h <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

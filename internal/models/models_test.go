@@ -1,0 +1,294 @@
+package models
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/opt"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+	"cbnet/internal/train"
+)
+
+func TestLeNetShapes(t *testing.T) {
+	r := rng.New(1)
+	net := NewLeNet(r)
+	out, err := net.OutSize(dataset.Pixels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != dataset.NumClasses {
+		t.Fatalf("output width %d, want %d", out, dataset.NumClasses)
+	}
+	x := tensor.New(2, dataset.Pixels)
+	x.RandUniform(r, 0, 1)
+	y := net.Forward(x, false)
+	if y.Shape[0] != 2 || y.Shape[1] != dataset.NumClasses {
+		t.Fatalf("forward shape %v", y.Shape)
+	}
+}
+
+func TestBranchySegmentShapes(t *testing.T) {
+	r := rng.New(2)
+	b := NewBranchyLeNet(r, 0.05)
+	stemOut, err := b.Stem.OutSize(dataset.Pixels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stemOut != 3*14*14 {
+		t.Fatalf("stem out %d, want %d", stemOut, 3*14*14)
+	}
+	if w, err := b.Branch.OutSize(stemOut); err != nil || w != dataset.NumClasses {
+		t.Fatalf("branch out %d, %v", w, err)
+	}
+	if w, err := b.Trunk.OutSize(stemOut); err != nil || w != dataset.NumClasses {
+		t.Fatalf("trunk out %d, %v", w, err)
+	}
+}
+
+func TestLightweightSharesParams(t *testing.T) {
+	r := rng.New(3)
+	b := NewBranchyLeNet(r, 0.05)
+	lw := ExtractLightweight(b)
+	if w, err := lw.OutSize(dataset.Pixels); err != nil || w != dataset.NumClasses {
+		t.Fatalf("lightweight out %d, %v", w, err)
+	}
+	// Mutating a BranchyNet weight must be visible through the lightweight
+	// network (shared tensors).
+	b.Stem.Params()[0].Value.Data[0] = 1234
+	if lw.Params()[0].Value.Data[0] != 1234 {
+		t.Fatal("lightweight does not share stem parameters")
+	}
+	// The paper's lightweight DNN: 2 conv + 1 FC.
+	convs, denses := 0, 0
+	for _, p := range lw.Params() {
+		switch p.Name {
+		case "conv1/W", "bconv/W":
+			convs++
+		case "bfc/W":
+			denses++
+		}
+	}
+	if convs != 2 || denses != 1 {
+		t.Fatalf("lightweight has %d conv, %d fc weights; want 2 and 1", convs, denses)
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	if DefaultThreshold(dataset.MNIST) != 0.05 {
+		t.Fatal("MNIST threshold")
+	}
+	if DefaultThreshold(dataset.FashionMNIST) != 0.5 {
+		t.Fatal("FMNIST threshold")
+	}
+	if DefaultThreshold(dataset.KMNIST) != 0.025 {
+		t.Fatal("KMNIST threshold")
+	}
+}
+
+func TestTableIArchitectures(t *testing.T) {
+	m := TableIArch(dataset.MNIST)
+	if m.Widths != [3]int{784, 384, 32} {
+		t.Fatalf("MNIST arch %v", m.Widths)
+	}
+	f := TableIArch(dataset.FashionMNIST)
+	if f.Widths != [3]int{512, 256, 128} {
+		t.Fatalf("FMNIST arch %v", f.Widths)
+	}
+	k := TableIArch(dataset.KMNIST)
+	if k.Widths != [3]int{512, 384, 32} {
+		t.Fatalf("KMNIST arch %v", k.Widths)
+	}
+	if !k.Relu[0] || k.Relu[1] || k.Relu[2] {
+		t.Fatalf("KMNIST activations %v, want relu/linear/linear", k.Relu)
+	}
+}
+
+func TestConvertingAEShapes(t *testing.T) {
+	r := rng.New(4)
+	for _, f := range []dataset.Family{dataset.MNIST, dataset.FashionMNIST, dataset.KMNIST} {
+		ae := NewTableIAE(f, r)
+		w, err := ae.Net.OutSize(dataset.Pixels)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if w != dataset.Pixels {
+			t.Fatalf("%v: output %d, want 784", f, w)
+		}
+		x := tensor.New(3, dataset.Pixels)
+		x.RandUniform(r, 0, 1)
+		y := ae.Net.Forward(x, false)
+		if y.Shape[0] != 3 || y.Shape[1] != dataset.Pixels {
+			t.Fatalf("%v: forward shape %v", f, y.Shape)
+		}
+		// Sigmoid output: all pixels in (0,1).
+		for _, v := range y.Data {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("%v: sigmoid output %v outside (0,1)", f, v)
+			}
+		}
+	}
+}
+
+func TestConvertingAESoftmaxOutput(t *testing.T) {
+	r := rng.New(5)
+	ae := NewConvertingAE(TableIArch(dataset.MNIST), OutputSoftmax, L1Coefficient, r)
+	x := tensor.New(2, dataset.Pixels)
+	x.RandUniform(r, 0, 1)
+	y := ae.Net.Forward(x, false)
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < dataset.Pixels; j++ {
+			s += float64(y.At(i, j))
+		}
+		if math.Abs(s-1) > 1e-4 {
+			t.Fatalf("softmax output row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestBranchyInferConsistency(t *testing.T) {
+	r := rng.New(6)
+	b := NewBranchyLeNet(r, 0.05)
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 32, HardFraction: 0.2, Seed: 7})
+	res := b.InferDataset(ds)
+	if len(res.Pred) != 32 || len(res.Exited) != 32 {
+		t.Fatalf("result sizes %d/%d", len(res.Pred), len(res.Exited))
+	}
+	for i, p := range res.Pred {
+		if p < 0 || p >= dataset.NumClasses {
+			t.Fatalf("pred[%d] = %d out of range", i, p)
+		}
+		if res.BranchEntropy[i] < 0 || res.BranchEntropy[i] > MaxEntropy()+1e-9 {
+			t.Fatalf("entropy[%d] = %v out of range", i, res.BranchEntropy[i])
+		}
+	}
+}
+
+func TestBranchyThresholdExtremes(t *testing.T) {
+	r := rng.New(8)
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 40, HardFraction: 0.3, Seed: 9})
+	b := NewBranchyLeNet(r, 0.05)
+	// Threshold above max entropy: everything exits early.
+	b.Threshold = MaxEntropy() + 1
+	if rate := b.EarlyExitRate(ds); rate != 1 {
+		t.Fatalf("exit rate %v with huge threshold, want 1", rate)
+	}
+	// Negative threshold: nothing exits.
+	b.Threshold = -1
+	if rate := b.EarlyExitRate(ds); rate != 0 {
+		t.Fatalf("exit rate %v with negative threshold, want 0", rate)
+	}
+}
+
+func TestJointTrainingImprovesBothHeads(t *testing.T) {
+	r := rng.New(10)
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 300, HardFraction: 0.1, Seed: 11})
+	b := NewBranchyLeNet(r, DefaultThreshold(dataset.MNIST))
+	before := b.Accuracy(ds)
+	err := b.TrainJointly(ds, JointTrainConfig{
+		Epochs: 3, BatchSize: 32, Optimizer: opt.NewAdam(0.002),
+		BranchWeight: 1, MainWeight: 1, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := b.Accuracy(ds)
+	if after < 0.8 {
+		t.Fatalf("joint-trained accuracy %v (was %v), want ≥0.8", after, before)
+	}
+	// Trunk alone must also classify well (threshold -1 = never exit).
+	b.Threshold = -1
+	if acc := b.Accuracy(ds); acc < 0.8 {
+		t.Fatalf("trunk accuracy %v, want ≥0.8", acc)
+	}
+}
+
+func TestJointTrainConfigValidation(t *testing.T) {
+	r := rng.New(13)
+	b := NewBranchyLeNet(r, 0.05)
+	ds := dataset.MustGenerate(dataset.Config{Family: dataset.MNIST, N: 10, HardFraction: 0, Seed: 14})
+	bad := []JointTrainConfig{
+		{Epochs: 0, BatchSize: 8, Optimizer: opt.NewAdam(0.01), BranchWeight: 1, MainWeight: 1},
+		{Epochs: 1, BatchSize: 0, Optimizer: opt.NewAdam(0.01), BranchWeight: 1, MainWeight: 1},
+		{Epochs: 1, BatchSize: 8, Optimizer: nil, BranchWeight: 1, MainWeight: 1},
+		{Epochs: 1, BatchSize: 8, Optimizer: opt.NewAdam(0.01)},
+	}
+	for i, cfg := range bad {
+		if err := b.TrainJointly(ds, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rng.New(15)
+	a := NewLeNet(r)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b := NewLeNet(rng.New(16)) // different init
+	if err := LoadParams(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+				t.Fatalf("param %s differs after round trip", pa[i].Name)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	r := rng.New(17)
+	lenet := NewLeNet(r)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, lenet); err != nil {
+		t.Fatal(err)
+	}
+	ae := NewTableIAE(dataset.MNIST, r)
+	if err := LoadParams(&buf, ae.Net); err == nil {
+		t.Fatal("expected load failure for mismatched architecture")
+	}
+}
+
+func TestBranchySaveLoad(t *testing.T) {
+	r := rng.New(18)
+	b := NewBranchyLeNet(r, 0.05)
+	path := t.TempDir() + "/branchy.ck"
+	if err := SaveBranchy(path, b); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBranchyLeNet(rng.New(19), 0.05)
+	if err := LoadBranchy(path, b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stem.Params()[0].Value.Data[0] != b2.Stem.Params()[0].Value.Data[0] {
+		t.Fatal("stem weights differ after file round trip")
+	}
+}
+
+func TestLeNetTrainsOnSmallSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lenet training is slow")
+	}
+	r := rng.New(20)
+	std, err := dataset.LoadStandard(dataset.MNIST, 400, 100, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewLeNet(r)
+	if _, err := train.Classifier(net, std.Train, train.Config{
+		Epochs: 3, BatchSize: 32, Optimizer: opt.NewAdam(0.002), Seed: 22,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := train.EvalClassifier(net, std.Test); acc < 0.6 {
+		t.Fatalf("LeNet test accuracy %v, want ≥0.6", acc)
+	}
+}

@@ -1,0 +1,89 @@
+package models
+
+import (
+	"fmt"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/nn"
+	"cbnet/internal/rng"
+)
+
+// TruncateLeNet implements the paper's §III-B generalization to
+// non-BranchyNet DNNs: "for non-BranchyNet DNNs with layers 1 through N, a
+// truncated network (layer 1 through k < N) appended with a suitable output
+// layer can be employed as a lightweight DNN."
+//
+// k counts the *prefix blocks* of the LeNet main network to keep, where a
+// block is a conv stage (conv+relu+pool or conv+relu) or a dense stage
+// (fc+relu). The returned network shares the kept layers' parameter tensors
+// with the original (they are the same trained layers) and appends a fresh
+// dense output head that must be trained (the head is the only new
+// parameter set — train it with the trunk frozen via HeadParams).
+func TruncateLeNet(lenet *nn.Sequential, k int, r *rng.RNG) (*nn.Sequential, error) {
+	blocks, err := lenetBlocks(lenet)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k >= len(blocks) {
+		return nil, fmt.Errorf("models: truncation depth k=%d outside [1,%d]", k, len(blocks)-1)
+	}
+	var layers []nn.Layer
+	for _, blk := range blocks[:k] {
+		layers = append(layers, blk...)
+	}
+	stack := nn.NewSequential("tmp", layers...)
+	width, err := stack.OutSize(dataset.Pixels)
+	if err != nil {
+		return nil, fmt.Errorf("models: truncated prefix invalid: %w", err)
+	}
+	head := nn.NewDense(fmt.Sprintf("trunc_head_k%d", k), width, dataset.NumClasses, r)
+	layers = append(layers, head)
+	return nn.NewSequential(fmt.Sprintf("lenet-trunc-k%d", k), layers...), nil
+}
+
+// HeadParams returns only the parameters of the truncated network's output
+// head, so it can be trained while the inherited prefix stays frozen.
+func HeadParams(truncated *nn.Sequential) []*nn.Param {
+	if len(truncated.Layers) == 0 {
+		return nil
+	}
+	return truncated.Layers[len(truncated.Layers)-1].Params()
+}
+
+// MaxTruncationDepth returns the largest valid k for TruncateLeNet.
+func MaxTruncationDepth(lenet *nn.Sequential) (int, error) {
+	blocks, err := lenetBlocks(lenet)
+	if err != nil {
+		return 0, err
+	}
+	return len(blocks) - 1, nil
+}
+
+// lenetBlocks groups the LeNet layer list into truncation units.
+func lenetBlocks(lenet *nn.Sequential) ([][]nn.Layer, error) {
+	var blocks [][]nn.Layer
+	var cur []nn.Layer
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, cur)
+			cur = nil
+		}
+	}
+	for _, l := range lenet.Layers {
+		switch l.(type) {
+		case *nn.Conv2D, *nn.Dense:
+			flush()
+			cur = append(cur, l)
+		default:
+			if len(cur) == 0 {
+				return nil, fmt.Errorf("models: network does not start with a parameterized layer")
+			}
+			cur = append(cur, l)
+		}
+	}
+	flush()
+	if len(blocks) < 2 {
+		return nil, fmt.Errorf("models: network too shallow to truncate (%d blocks)", len(blocks))
+	}
+	return blocks, nil
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over rows interpreted as C×H×W volumes,
+// implemented as im2col + GEMM. The weight has shape
+// (OutC, InC*KH*KW) and the bias (OutC).
+//
+// The batch dimension is processed by a goroutine pool: each worker owns a
+// private im2col buffer and, in the backward pass, private weight/bias
+// gradient accumulators that are reduced after the fan-in — the classic
+// data-parallel gradient pattern.
+type Conv2D struct {
+	LayerName string
+	Dims      tensor.ConvDims
+	OutC      int
+	W, B      *Param
+
+	// lastInput and lastCols cache training-mode state for Backward.
+	lastInput *tensor.Tensor
+	lastCols  []float32 // batch of im2col matrices, one per sample
+}
+
+// NewConv2D creates a convolution layer. Geometry errors (kernel larger than
+// the padded input and the like) are reported at construction time.
+func NewConv2D(name string, inC, inH, inW, outC, kh, kw, stride, pad int, r *rng.RNG) (*Conv2D, error) {
+	dims, err := tensor.NewConvDims(inC, inH, inW, kh, kw, stride, pad)
+	if err != nil {
+		return nil, fmt.Errorf("conv %s: %w", name, err)
+	}
+	if outC <= 0 {
+		return nil, fmt.Errorf("conv %s: non-positive output channels %d", name, outC)
+	}
+	w := tensor.New(outC, dims.ColRows())
+	InitHe(w, dims.ColRows(), r)
+	return &Conv2D{
+		LayerName: name,
+		Dims:      dims,
+		OutC:      outC,
+		W:         &Param{Name: name + "/W", Value: w, Grad: tensor.New(outC, dims.ColRows())},
+		B:         &Param{Name: name + "/b", Value: tensor.New(outC), Grad: tensor.New(outC)},
+	}, nil
+}
+
+// MustConv2D is NewConv2D that panics on error, for statically-known-good
+// model definitions.
+func MustConv2D(name string, inC, inH, inW, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
+	c, err := NewConv2D(name, inC, inH, inW, outC, kh, kw, stride, pad, r)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the layer's label.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// InSize returns the expected per-sample input width.
+func (c *Conv2D) InSize() int { return c.Dims.InC * c.Dims.InH * c.Dims.InW }
+
+// OutSize validates the input width and returns OutC*OutH*OutW.
+func (c *Conv2D) OutSize(inSize int) (int, error) {
+	if inSize != c.InSize() {
+		return 0, fmt.Errorf("conv %s: input size %d, want %d", c.LayerName, inSize, c.InSize())
+	}
+	return c.OutC * c.Dims.OutH * c.Dims.OutW, nil
+}
+
+// Forward convolves every sample in the batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n := x.Shape[0]
+	if len(x.Shape) != 2 || x.Shape[1] != c.InSize() {
+		panic(fmt.Sprintf("conv %s: input shape %v, want (N, %d)", c.LayerName, x.Shape, c.InSize()))
+	}
+	colRows, colCols := c.Dims.ColRows(), c.Dims.ColCols()
+	outWidth := c.OutC * colCols
+	y := tensor.New(n, outWidth)
+
+	var cols []float32
+	if training {
+		c.lastInput = x
+		cols = make([]float32, n*colRows*colCols)
+		c.lastCols = cols
+	}
+
+	perSampleCost := colRows * colCols * c.OutC
+	tensor.ParallelFor(n, perSampleCost, func(i0, i1 int) {
+		col := make([]float32, colRows*colCols)
+		for i := i0; i < i1; i++ {
+			img := x.Data[i*c.InSize() : (i+1)*c.InSize()]
+			buf := col
+			if training {
+				buf = cols[i*colRows*colCols : (i+1)*colRows*colCols]
+			}
+			tensor.Im2Col(img, c.Dims, buf)
+			colMat := tensor.FromSlice(buf, colRows, colCols)
+			out := tensor.FromSlice(y.Data[i*outWidth:(i+1)*outWidth], c.OutC, colCols)
+			tensor.MatMulInto(out, c.W.Value, colMat, 1, 0)
+			// Add per-channel bias across the spatial extent.
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.B.Value.Data[oc]
+				row := out.Data[oc*colCols : (oc+1)*colCols]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward computes parameter gradients and the input gradient. Each worker
+// accumulates into private dW/db buffers which are then reduced serially, so
+// no locks are held inside the hot loop.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastInput == nil || c.lastCols == nil {
+		panic(fmt.Sprintf("conv %s: Backward before training-mode Forward", c.LayerName))
+	}
+	n := grad.Shape[0]
+	colRows, colCols := c.Dims.ColRows(), c.Dims.ColCols()
+	outWidth := c.OutC * colCols
+	if len(grad.Shape) != 2 || grad.Shape[1] != outWidth || n != c.lastInput.Shape[0] {
+		panic(fmt.Sprintf("conv %s: grad shape %v, want (%d, %d)", c.LayerName, grad.Shape, c.lastInput.Shape[0], outWidth))
+	}
+	dx := tensor.New(n, c.InSize())
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	dWs := make([]*tensor.Tensor, workers)
+	dBs := make([]*tensor.Tensor, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		if i0 >= n {
+			dWs[w] = tensor.New(c.OutC, colRows)
+			dBs[w] = tensor.New(c.OutC)
+			continue
+		}
+		i1 := i0 + chunk
+		if i1 > n {
+			i1 = n
+		}
+		dW := tensor.New(c.OutC, colRows)
+		dB := tensor.New(c.OutC)
+		dWs[w], dBs[w] = dW, dB
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			dcol := make([]float32, colRows*colCols)
+			for i := i0; i < i1; i++ {
+				gOut := tensor.FromSlice(grad.Data[i*outWidth:(i+1)*outWidth], c.OutC, colCols)
+				col := tensor.FromSlice(c.lastCols[i*colRows*colCols:(i+1)*colRows*colCols], colRows, colCols)
+				// dW += gOut · colᵀ
+				dW.AddInPlace(tensor.MatMulTransB(gOut, col))
+				// db += spatial sums of gOut
+				for oc := 0; oc < c.OutC; oc++ {
+					row := gOut.Data[oc*colCols : (oc+1)*colCols]
+					var s float32
+					for _, v := range row {
+						s += v
+					}
+					dB.Data[oc] += s
+				}
+				// dcol = Wᵀ · gOut, then scatter back to image space.
+				dcolMat := tensor.FromSlice(dcol, colRows, colCols)
+				res := tensor.MatMulTransA(c.W.Value, gOut)
+				copy(dcolMat.Data, res.Data)
+				img := dx.Data[i*c.InSize() : (i+1)*c.InSize()]
+				tensor.Col2Im(dcol, c.Dims, img)
+			}
+		}(i0, i1)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		c.W.Grad.AddInPlace(dWs[w])
+		c.B.Grad.AddInPlace(dBs[w])
+	}
+	return dx
+}

@@ -1,0 +1,183 @@
+// Package serve exposes a trained CBNet pipeline over HTTP — the deployment
+// shape the paper targets (DNN inference serving on a single edge device).
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /info      model and device-profile metadata
+//	POST /classify  classify one image; accepts either
+//	                  application/json  {"pixels": [784 floats in 0..1]}
+//	                  image/png         a 28×28 grayscale (or color) PNG
+//	                and returns prediction, per-stage latency estimates and
+//	                optionally the converted image.
+//
+// The handler serves concurrent requests from a single loaded model:
+// inference-mode forward passes cache nothing, so no locking is needed
+// around the network itself.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/png"
+	"net/http"
+	"time"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/device"
+	"cbnet/internal/tensor"
+)
+
+// Server wraps a CBNet pipeline with HTTP handlers.
+type Server struct {
+	Pipeline *core.Pipeline
+	// Profile prices each request for the response's latency estimates.
+	Profile device.Profile
+	// Family is reported by /info.
+	Family dataset.Family
+
+	mux *http.ServeMux
+}
+
+// New builds a server around a trained pipeline.
+func New(p *core.Pipeline, prof device.Profile, family dataset.Family) *Server {
+	s := &Server{Pipeline: p, Profile: prof, Family: family}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("POST /classify", s.handleClassify)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// InfoResponse is the /info payload.
+type InfoResponse struct {
+	Dataset          string  `json:"dataset"`
+	Device           string  `json:"device"`
+	BottleneckWidth  int     `json:"bottleneckWidth"`
+	PipelineMACs     int     `json:"pipelineMACs"`
+	ModelLatencyMS   float64 `json:"modelLatencyMs"`
+	AEShareOfLatency float64 `json:"aeShareOfLatency"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	cost := s.Pipeline.Cost()
+	resp := InfoResponse{
+		Dataset:          s.Family.String(),
+		Device:           s.Profile.Name,
+		BottleneckWidth:  s.Pipeline.AE.BottleneckWidth(),
+		PipelineMACs:     cost.TotalMACs(),
+		ModelLatencyMS:   s.Profile.Latency(cost) * 1e3,
+		AEShareOfLatency: s.Pipeline.AECostShare(s.Profile),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClassifyRequest is the JSON /classify payload.
+type ClassifyRequest struct {
+	Pixels []float32 `json:"pixels"`
+	// IncludeConverted echoes the autoencoder output in the response.
+	IncludeConverted bool `json:"includeConverted,omitempty"`
+}
+
+// ClassifyResponse is the /classify result.
+type ClassifyResponse struct {
+	Class int `json:"class"`
+	// ModelLatencyMS is the calibrated edge-device estimate; WallLatencyMS
+	// is this host's actual processing time.
+	ModelLatencyMS float64   `json:"modelLatencyMs"`
+	WallLatencyMS  float64   `json:"wallLatencyMs"`
+	Converted      []float32 `json:"converted,omitempty"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var pixels []float32
+	var includeConverted bool
+	switch ct := r.Header.Get("Content-Type"); {
+	case ct == "image/png":
+		img, err := png.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding png: %v", err))
+			return
+		}
+		pixels, err = pngToPixels(img)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		var req ClassifyRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding json: %v", err))
+			return
+		}
+		pixels = req.Pixels
+		includeConverted = req.IncludeConverted
+	}
+	if len(pixels) != dataset.Pixels {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("got %d pixels, want %d", len(pixels), dataset.Pixels))
+		return
+	}
+	for i, v := range pixels {
+		if v < 0 || v > 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("pixel %d = %v outside [0,1]", i, v))
+			return
+		}
+	}
+
+	start := time.Now()
+	x := tensor.FromSlice(append([]float32(nil), pixels...), 1, dataset.Pixels)
+	converted := s.Pipeline.Convert(x)
+	logits := s.Pipeline.Classifier.Forward(converted, false)
+	wall := time.Since(start)
+
+	resp := ClassifyResponse{
+		Class:          logits.Row(0).ArgMax(),
+		ModelLatencyMS: s.Profile.Latency(s.Pipeline.Cost()) * 1e3,
+		WallLatencyMS:  float64(wall.Microseconds()) / 1e3,
+	}
+	if includeConverted {
+		resp.Converted = converted.Data
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pngToPixels converts a decoded PNG to a flattened grayscale [0,1] image.
+func pngToPixels(img image.Image) ([]float32, error) {
+	b := img.Bounds()
+	if b.Dx() != dataset.Side || b.Dy() != dataset.Side {
+		return nil, fmt.Errorf("image is %dx%d, want %dx%d", b.Dx(), b.Dy(), dataset.Side, dataset.Side)
+	}
+	out := make([]float32, dataset.Pixels)
+	i := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := img.At(x, y).RGBA() // 16-bit channels
+			// ITU-R BT.601 luma.
+			luma := (0.299*float64(r) + 0.587*float64(g) + 0.114*float64(bl)) / 65535
+			out[i] = float32(luma)
+			i++
+		}
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

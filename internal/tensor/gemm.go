@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// (m*n*k) before MatMul fans work out to multiple goroutines. Below it the
+// goroutine handoff costs more than it saves.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
+//
+// The kernel iterates in i-p-j order so that the innermost loop streams both
+// B's row p and C's row i sequentially — an axpy formulation that the
+// compiler auto-vectorizes — and splits the rows of A across a goroutine
+// pool for large problems.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	c := New(m, n)
+	gemm(a.Data, b.Data, c.Data, m, k, n, 1, 0)
+	return c
+}
+
+// MatMulInto computes C = alpha*(A×B) + beta*C into an existing tensor,
+// avoiding an allocation. C must be m×n.
+func MatMulInto(c, a, b *Tensor, alpha, beta float32) {
+	m, k, n := checkMatMul(a, b)
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	gemm(a.Data, b.Data, c.Data, m, k, n, alpha, beta)
+}
+
+// MatMulTransA computes C = Aᵀ × B without materializing Aᵀ.
+// A is k×m, B is k×n, C is m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA on non-matrices")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Shape[0]))
+	}
+	n := b.Shape[1]
+	c := New(m, n)
+	// cᵢⱼ = Σ_p a_{p,i} b_{p,j}: for each p, rank-1 update of C rows.
+	// Parallelize over row blocks of C (i), accumulating locally.
+	parallelRows(m, m*n*k, func(i0, i1 int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := i0; i < i1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTransB computes C = A × Bᵀ without materializing Bᵀ.
+// A is m×k, B is n×k, C is m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB on non-matrices")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Shape[1]))
+	}
+	n := b.Shape[0]
+	c := New(m, n)
+	parallelRows(m, m*n*k, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return c
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul on non-matrices %v × %v", a.Shape, b.Shape))
+	}
+	m, k = a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, b.Shape[0]))
+	}
+	n = b.Shape[1]
+	return m, k, n
+}
+
+// gemm computes C = alpha*A*B + beta*C over raw row-major slices.
+func gemm(a, b, c []float32, m, k, n int, alpha, beta float32) {
+	parallelRows(m, m*n*k, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			crow := c[i*n : (i+1)*n]
+			if beta == 0 {
+				for j := range crow {
+					crow[j] = 0
+				}
+			} else if beta != 1 {
+				for j := range crow {
+					crow[j] *= beta
+				}
+			}
+			arow := a[i*k : (i+1)*k]
+			for p, av := range arow {
+				av *= alpha
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
+// in parallel when the problem (measured in flops) is large enough.
+func parallelRows(rows, flops int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if rows == 0 {
+		return
+	}
+	if flops < parallelThreshold || workers < 2 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		if i0 >= rows {
+			break
+		}
+		i1 := min(i0+chunk, rows)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn on each chunk,
+// fanning out to GOMAXPROCS goroutines when n*costPerItem (an approximate
+// flop count) exceeds the parallelization threshold. fn must be safe to call
+// concurrently on disjoint ranges. It is the batch-level work-sharing
+// primitive used by the layer and training code.
+func ParallelFor(n, costPerItem int, fn func(i0, i1 int)) {
+	parallelRows(n, n*costPerItem, fn)
+}
+
+// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k).
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(x.Shape) != 1 {
+		panic("tensor: MatVec wants matrix × vector")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if x.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dims %d vs %d", k, x.Shape[0]))
+	}
+	y := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var s float32
+		for p, av := range row {
+			s += av * x.Data[p]
+		}
+		y.Data[i] = s
+	}
+	return y
+}
+
+// AddRowVector adds vector v (length n) to every row of the m×n matrix t.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if len(t.Shape) != 2 || len(v.Shape) != 1 || t.Shape[1] != v.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v + %v", t.Shape, v.Shape))
+	}
+	n := t.Shape[1]
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j, vv := range v.Data {
+			row[j] += vv
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of a 2-D tensor as a length-n vector.
+func (t *Tensor) SumRows() *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: SumRows on non-matrix")
+	}
+	n := t.Shape[1]
+	out := New(n)
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution geometry over a C×H×W input.
+type ConvDims struct {
+	InC, InH, InW int // input channels and spatial extent
+	KH, KW        int // kernel height and width
+	Stride        int // stride (same for both axes)
+	Pad           int // zero padding (same on all sides)
+	OutH, OutW    int // derived output extent
+}
+
+// NewConvDims validates and completes a convolution geometry.
+func NewConvDims(inC, inH, inW, kh, kw, stride, pad int) (ConvDims, error) {
+	d := ConvDims{InC: inC, InH: inH, InW: inW, KH: kh, KW: kw, Stride: stride, Pad: pad}
+	if inC <= 0 || inH <= 0 || inW <= 0 || kh <= 0 || kw <= 0 {
+		return d, fmt.Errorf("tensor: non-positive conv dims %+v", d)
+	}
+	if stride <= 0 {
+		return d, fmt.Errorf("tensor: non-positive stride %d", stride)
+	}
+	if pad < 0 {
+		return d, fmt.Errorf("tensor: negative padding %d", pad)
+	}
+	oh := (inH+2*pad-kh)/stride + 1
+	ow := (inW+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return d, fmt.Errorf("tensor: kernel %dx%d does not fit input %dx%d (pad %d)", kh, kw, inH, inW, pad)
+	}
+	d.OutH, d.OutW = oh, ow
+	return d, nil
+}
+
+// ColRows returns the row count of the im2col matrix: InC*KH*KW.
+func (d ConvDims) ColRows() int { return d.InC * d.KH * d.KW }
+
+// ColCols returns the column count of the im2col matrix: OutH*OutW.
+func (d ConvDims) ColCols() int { return d.OutH * d.OutW }
+
+// Im2Col expands a single C×H×W image (len InC*InH*InW) into the column
+// matrix used by GEMM-based convolution. The output has shape
+// (InC*KH*KW) × (OutH*OutW) and is written into col, which must have
+// capacity ColRows()*ColCols().
+//
+// Row (c*KH*KW + ky*KW + kx) column (oy*OutW + ox) holds input pixel
+// (c, oy*Stride+ky-Pad, ox*Stride+kx-Pad), or 0 when that falls in padding.
+func Im2Col(img []float32, d ConvDims, col []float32) {
+	rows, cols := d.ColRows(), d.ColCols()
+	if len(img) != d.InC*d.InH*d.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image len %d, want %d", len(img), d.InC*d.InH*d.InW))
+	}
+	if len(col) != rows*cols {
+		panic(fmt.Sprintf("tensor: Im2Col col len %d, want %d", len(col), rows*cols))
+	}
+	r := 0
+	for c := 0; c < d.InC; c++ {
+		plane := img[c*d.InH*d.InW : (c+1)*d.InH*d.InW]
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				dst := col[r*cols : (r+1)*cols]
+				di := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						for ox := 0; ox < d.OutW; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := iy * d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = plane[rowBase+ix]
+						}
+						di++
+					}
+				}
+				r++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix back into image space, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used for the
+// gradient with respect to the convolution input. img must be pre-zeroed by
+// the caller if accumulation from a clean slate is desired.
+func Col2Im(col []float32, d ConvDims, img []float32) {
+	rows, cols := d.ColRows(), d.ColCols()
+	if len(img) != d.InC*d.InH*d.InW {
+		panic(fmt.Sprintf("tensor: Col2Im image len %d, want %d", len(img), d.InC*d.InH*d.InW))
+	}
+	if len(col) != rows*cols {
+		panic(fmt.Sprintf("tensor: Col2Im col len %d, want %d", len(col), rows*cols))
+	}
+	r := 0
+	for c := 0; c < d.InC; c++ {
+		plane := img[c*d.InH*d.InW : (c+1)*d.InH*d.InW]
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				src := col[r*cols : (r+1)*cols]
+				si := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						si += d.OutW
+						continue
+					}
+					rowBase := iy * d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix >= 0 && ix < d.InW {
+							plane[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+				r++
+			}
+		}
+	}
+}
