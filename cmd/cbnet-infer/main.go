@@ -36,16 +36,9 @@ func main() {
 }
 
 func run(ckpt, name string, n int, hard bool, seed uint64) error {
-	var family dataset.Family
-	switch name {
-	case "mnist":
-		family = dataset.MNIST
-	case "fmnist":
-		family = dataset.FashionMNIST
-	case "kmnist":
-		family = dataset.KMNIST
-	default:
-		return fmt.Errorf("unknown dataset %q", name)
+	family, err := dataset.FamilyByName(name)
+	if err != nil {
+		return err
 	}
 
 	// Rebuild the architectures, then load the trained parameters.

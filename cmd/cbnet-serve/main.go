@@ -1,24 +1,35 @@
 // Command cbnet-serve loads checkpoints written by cbnet-train and serves
-// the CBNet pipeline over HTTP (see internal/serve for the API).
+// the CBNet pipeline over HTTP through the batched inference engine (see
+// internal/serve for the API and internal/engine for batching/routing).
 //
 // Usage:
 //
-//	cbnet-serve -ckpt ./ckpt -dataset fmnist -addr :8080
+//	cbnet-serve -ckpt ./ckpt -dataset fmnist -addr :8080 -workers 4 -max-batch 32
 //	curl -X POST localhost:8080/classify -H 'Content-Type: application/json' \
 //	     -d '{"pixels": [ ...784 floats... ]}'
+//	curl localhost:8080/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
+// requests drain through the engine, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
+	"cbnet/internal/engine"
 	"cbnet/internal/models"
 	"cbnet/internal/rng"
 	"cbnet/internal/serve"
@@ -26,47 +37,114 @@ import (
 
 func main() {
 	var (
-		ckpt    = flag.String("ckpt", "ckpt", "checkpoint directory from cbnet-train")
-		name    = flag.String("dataset", "mnist", "dataset family: mnist, fmnist, kmnist")
-		addr    = flag.String("addr", ":8080", "listen address")
-		devName = flag.String("device", "RaspberryPi4", "device profile for latency estimates")
+		ckpt      = flag.String("ckpt", "ckpt", "checkpoint directory from cbnet-train")
+		name      = flag.String("dataset", "mnist", "dataset family: mnist, fmnist, kmnist")
+		addr      = flag.String("addr", ":8080", "listen address")
+		devName   = flag.String("device", "RaspberryPi4", "device profile for latency estimates")
+		workers   = flag.Int("workers", 0, "inference workers per route (0 = auto)")
+		maxBatch  = flag.Int("max-batch", 32, "micro-batch flush size")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush deadline")
+		queue     = flag.Int("queue-depth", 256, "per-route admission queue bound")
+		threshold = flag.Float64("hardness-threshold", engine.DefaultHardnessThreshold, "route images scoring at or above this to the full AE path")
+		noRoute   = flag.Bool("no-routing", false, "disable hardness routing (always convert)")
 	)
 	flag.Parse()
-	if err := run(*ckpt, *name, *addr, *devName); err != nil {
+	cfg := engine.Config{
+		Workers:           *workers,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		QueueDepth:        *queue,
+		HardnessThreshold: *threshold,
+		DisableRouting:    *noRoute,
+	}
+	if err := run(*ckpt, *name, *addr, *devName, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cbnet-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ckpt, name, addr, devName string) error {
-	var family dataset.Family
-	switch name {
-	case "mnist":
-		family = dataset.MNIST
-	case "fmnist":
-		family = dataset.FashionMNIST
-	case "kmnist":
-		family = dataset.KMNIST
-	default:
-		return fmt.Errorf("unknown dataset %q", name)
+// validateEngineConfig rejects nonsensical flag combinations before the
+// engine normalises zero values to defaults.
+func validateEngineConfig(cfg engine.Config) error {
+	if cfg.MaxBatch < 0 {
+		return fmt.Errorf("max-batch %d must be non-negative (0 selects the default)", cfg.MaxBatch)
+	}
+	if cfg.MaxWait < 0 {
+		return fmt.Errorf("max-wait %v must be non-negative (0 selects the default)", cfg.MaxWait)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("workers %d must be non-negative", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("queue-depth %d must be non-negative (0 selects the default)", cfg.QueueDepth)
+	}
+	// The engine treats 0 as "use the default", so an explicit 0 here
+	// would silently route with the 1.05 default instead of sending
+	// everything to the AE path — reject it and point at -no-routing.
+	if cfg.HardnessThreshold <= 0 {
+		return fmt.Errorf("hardness-threshold %v must be positive (use -no-routing to convert every image)", cfg.HardnessThreshold)
+	}
+	return nil
+}
+
+// buildServer assembles the HTTP server from checkpoints; split from run so
+// tests can exercise validation and loading without binding a socket.
+func buildServer(ckpt, name, devName string, cfg engine.Config) (*serve.Server, error) {
+	family, err := dataset.FamilyByName(name)
+	if err != nil {
+		return nil, err
 	}
 	prof, err := device.ByName(devName)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if err := validateEngineConfig(cfg); err != nil {
+		return nil, err
 	}
 
 	r := rng.New(1)
 	branchy := models.NewBranchyLeNet(r, models.DefaultThreshold(family))
 	if err := models.LoadBranchy(filepath.Join(ckpt, "branchy.ck"), branchy); err != nil {
-		return fmt.Errorf("loading branchy.ck: %w", err)
+		return nil, fmt.Errorf("loading branchy.ck: %w", err)
 	}
 	ae := models.NewTableIAE(family, r)
 	if err := models.LoadFile(filepath.Join(ckpt, "ae.ck"), ae.Net); err != nil {
-		return fmt.Errorf("loading ae.ck: %w", err)
+		return nil, fmt.Errorf("loading ae.ck: %w", err)
 	}
 	pipe := &core.Pipeline{AE: ae, Classifier: models.ExtractLightweight(branchy)}
+	return serve.NewWithEngine(pipe, engine.New(pipe, cfg), prof, family), nil
+}
 
-	srv := serve.New(pipe, prof, family)
-	log.Printf("cbnet-serve: %s pipeline on %s (profile %s)", family, addr, prof.Name)
-	return http.ListenAndServe(addr, srv)
+func run(ckpt, name, addr, devName string, cfg engine.Config) error {
+	srv, err := buildServer(ckpt, name, devName, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	ecfg := srv.Engine.Config()
+	log.Printf("cbnet-serve: %s pipeline on %s (profile %s, %d workers/route, batch ≤%d, wait ≤%v)",
+		srv.Family, addr, srv.Profile.Name, ecfg.Workers, ecfg.MaxBatch, ecfg.MaxWait)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("cbnet-serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

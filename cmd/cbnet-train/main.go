@@ -42,21 +42,8 @@ func main() {
 	}
 }
 
-func parseFamily(name string) (dataset.Family, error) {
-	switch name {
-	case "mnist":
-		return dataset.MNIST, nil
-	case "fmnist":
-		return dataset.FashionMNIST, nil
-	case "kmnist":
-		return dataset.KMNIST, nil
-	default:
-		return 0, fmt.Errorf("unknown dataset %q (want mnist, fmnist or kmnist)", name)
-	}
-}
-
 func run(name string, trainN, testN int, outDir string, seed uint64, eL, eB, eA int, quiet bool) error {
-	family, err := parseFamily(name)
+	family, err := dataset.FamilyByName(name)
 	if err != nil {
 		return err
 	}

@@ -4,11 +4,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cbnet/internal/dataset"
 )
 
 func TestParseFamily(t *testing.T) {
 	for name, ok := range map[string]bool{"mnist": true, "fmnist": true, "kmnist": true, "cifar": false} {
-		_, err := parseFamily(name)
+		_, err := dataset.FamilyByName(name)
 		if ok && err != nil {
 			t.Errorf("%s: unexpected error %v", name, err)
 		}

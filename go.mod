@@ -1,0 +1,3 @@
+module cbnet
+
+go 1.24

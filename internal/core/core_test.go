@@ -330,3 +330,35 @@ func meanEntropy(b *models.BranchyNet, ds *dataset.Dataset) float64 {
 	}
 	return s / float64(len(res.BranchEntropy))
 }
+
+func TestClassifyDirectMatchesClassifierOnly(t *testing.T) {
+	r := rng.New(21)
+	b := models.NewBranchyLeNet(r, 0.05)
+	pipe := &Pipeline{AE: models.NewTableIAE(dataset.MNIST, r), Classifier: models.ExtractLightweight(b)}
+	x := tensor.New(4, dataset.Pixels)
+	x.RandUniform(r, 0, 1)
+	preds := pipe.ClassifyDirect(x)
+	if len(preds) != 4 {
+		t.Fatalf("got %d predictions, want 4", len(preds))
+	}
+	logits := pipe.Classifier.Forward(x, false)
+	for i, p := range preds {
+		if want := logits.Row(i).ArgMax(); p != want {
+			t.Fatalf("row %d: direct pred %d, classifier argmax %d", i, p, want)
+		}
+		if p < 0 || p >= dataset.NumClasses {
+			t.Fatalf("row %d: class %d out of range", i, p)
+		}
+	}
+}
+
+func TestDirectCostExcludesAE(t *testing.T) {
+	r := rng.New(22)
+	b := models.NewBranchyLeNet(r, 0.05)
+	pipe := &Pipeline{AE: models.NewTableIAE(dataset.MNIST, r), Classifier: models.ExtractLightweight(b)}
+	full := pipe.Cost().TotalMACs()
+	direct := pipe.DirectCost().TotalMACs()
+	if direct <= 0 || direct >= full {
+		t.Fatalf("direct cost %d not inside (0, full=%d)", direct, full)
+	}
+}

@@ -39,8 +39,20 @@ func (p *Pipeline) Convert(x *tensor.Tensor) *tensor.Tensor {
 // Infer classifies a batch through the full pipeline.
 func (p *Pipeline) Infer(x *tensor.Tensor) []int {
 	converted := p.Convert(x)
-	logits := p.Classifier.Forward(converted, false)
-	preds := make([]int, x.Shape[0])
+	return argmaxRows(p.Classifier.Forward(converted, false))
+}
+
+// ClassifyDirect classifies a batch with the lightweight classifier alone,
+// skipping the converting autoencoder. This is the fast path for inputs
+// already judged easy: §V observes that easy images classify correctly
+// without conversion, so routing them around the AE saves its entire share
+// of the pipeline latency (up to 25%, §IV-D).
+func (p *Pipeline) ClassifyDirect(x *tensor.Tensor) []int {
+	return argmaxRows(p.Classifier.Forward(x, false))
+}
+
+func argmaxRows(logits *tensor.Tensor) []int {
+	preds := make([]int, logits.Shape[0])
 	for i := range preds {
 		preds[i] = logits.Row(i).ArgMax()
 	}
@@ -73,6 +85,12 @@ func (p *Pipeline) Accuracy(ds *dataset.Dataset) float64 {
 // Cost returns the per-image work of the full pipeline (AE + classifier).
 func (p *Pipeline) Cost() device.Cost {
 	return device.SequentialCost(p.AE.Net).Add(device.SequentialCost(p.Classifier))
+}
+
+// DirectCost returns the per-image work of the classifier-only path taken by
+// ClassifyDirect.
+func (p *Pipeline) DirectCost() device.Cost {
+	return device.SequentialCost(p.Classifier)
 }
 
 // AECostShare returns the fraction of modelled pipeline latency spent in

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"fmt"
 	"math"
 
 	"cbnet/internal/rng"
@@ -30,6 +31,22 @@ func (f Family) String() string {
 		return "KMNIST"
 	default:
 		return "unknown"
+	}
+}
+
+// FamilyByName maps the CLI spelling of a dataset family ("mnist",
+// "fmnist", "kmnist") to its Family, shared by every command's -dataset
+// flag.
+func FamilyByName(name string) (Family, error) {
+	switch name {
+	case "mnist":
+		return MNIST, nil
+	case "fmnist":
+		return FashionMNIST, nil
+	case "kmnist":
+		return KMNIST, nil
+	default:
+		return 0, fmt.Errorf("unknown dataset %q (want mnist, fmnist or kmnist)", name)
 	}
 }
 

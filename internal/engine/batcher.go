@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"time"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/tensor"
+)
+
+// RouteName identifies one of the engine's two inference paths.
+type RouteName string
+
+const (
+	// RouteEasy is the classifier-only path for low-hardness images.
+	RouteEasy RouteName = "easy"
+	// RouteHard is the full AE+classifier path.
+	RouteHard RouteName = "hard"
+)
+
+// inferFn runs a batch and returns (logits, converted); converted is nil on
+// routes that skip the autoencoder.
+type inferFn func(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor)
+
+// route owns one admission queue, one batcher, and a pool of workers.
+type route struct {
+	name    RouteName
+	queue   chan *request   // admission-bounded; closed by Engine.Close
+	batches chan []*request // formed micro-batches; closed by the batcher
+	infer   inferFn
+	stats   *routeStats
+}
+
+func (e *Engine) newRoute(name RouteName, infer inferFn) *route {
+	return &route{
+		name:  name,
+		queue: make(chan *request, e.cfg.QueueDepth),
+		// Unbuffered on purpose: a send succeeds exactly when a worker is
+		// parked in receive, which is what makes the batcher
+		// work-conserving (see batchLoop).
+		batches: make(chan []*request),
+		infer:   infer,
+		stats:   e.stats.route(name),
+	}
+}
+
+// batchLoop is the route's single coalescing goroutine. A batch opens when
+// the first request arrives and flushes on the earliest of three triggers:
+//
+//   - it reaches MaxBatch;
+//   - the queue is empty and a worker is idle (work-conserving flush —
+//     holding requests while capacity sits idle only adds latency, and in
+//     closed-loop traffic it deadlocks throughput against MaxWait);
+//   - it has been open for MaxWait (bounds latency when workers are busy).
+//
+// Batches therefore form exactly while all workers are occupied: under
+// load they grow toward MaxBatch, and a lone request on an idle engine is
+// dispatched immediately. When the queue closes (engine shutdown) the loop
+// flushes whatever is pending and exits, so every admitted request is
+// always answered.
+func (e *Engine) batchLoop(rt *route) {
+	defer e.wg.Done()
+	defer close(rt.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			<-timer.C
+		}
+	}
+	for {
+		// Wait for the request that opens the next batch.
+		first, ok := <-rt.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, e.cfg.MaxBatch), first)
+		timer.Reset(e.cfg.MaxWait)
+		sent, deadline := false, false
+		for !sent && !deadline && len(batch) < e.cfg.MaxBatch {
+			// Drain work that is already queued before anything else.
+			select {
+			case r, ok := <-rt.queue:
+				if !ok {
+					stopTimer()
+					rt.batches <- batch
+					return
+				}
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			// Queue empty: hand off now if a worker is parked.
+			select {
+			case rt.batches <- batch:
+				sent = true
+				continue
+			default:
+			}
+			// Workers busy and queue empty: block until more work, a
+			// freed worker, or the deadline.
+			select {
+			case r, ok := <-rt.queue:
+				if !ok {
+					stopTimer()
+					rt.batches <- batch
+					return
+				}
+				batch = append(batch, r)
+			case rt.batches <- batch:
+				sent = true
+			case <-timer.C:
+				deadline = true
+			}
+		}
+		if !deadline {
+			stopTimer()
+		}
+		if !sent {
+			rt.batches <- batch
+		}
+	}
+}
+
+// worker executes formed batches until the batcher closes the channel.
+func (e *Engine) worker(rt *route) {
+	defer e.wg.Done()
+	for batch := range rt.batches {
+		e.runBatch(rt, batch)
+	}
+}
+
+// runBatch assembles the batch tensor, runs the route's forward pass, and
+// answers every request in the batch.
+func (e *Engine) runBatch(rt *route, batch []*request) {
+	n := len(batch)
+	x := tensor.New(n, dataset.Pixels)
+	for i, r := range batch {
+		copy(x.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], r.pixels)
+	}
+	start := time.Now()
+	logits, converted := rt.infer(x)
+	inferDur := time.Since(start)
+
+	rt.stats.observeBatch(n, inferDur)
+	for i, r := range batch {
+		res := Result{
+			Class:     logits.Row(i).ArgMax(),
+			Route:     string(rt.name),
+			Hardness:  r.hardness,
+			BatchSize: n,
+			QueueWait: start.Sub(r.enqueued),
+			Infer:     inferDur,
+		}
+		if r.wantConverted && converted != nil {
+			res.Converted = append([]float32(nil), converted.Data[i*dataset.Pixels:(i+1)*dataset.Pixels]...)
+		}
+		rt.stats.observeRequest(res.QueueWait)
+		e.stats.completed.Inc()
+		r.done <- res
+	}
+}

@@ -1,0 +1,30 @@
+package engine
+
+import "cbnet/internal/generalize"
+
+// RouteOf scores one image with the §V hardness heuristic and decides its
+// route under the given threshold: scores below it go classifier-only
+// (easy), everything else takes the full AE path. Exposed so tools and
+// tests can ask "where would this image go?" without an engine.
+func RouteOf(pixels []float32, threshold float64) (RouteName, float64) {
+	h := generalize.HardnessScore(pixels)
+	if h < threshold {
+		return RouteEasy, h
+	}
+	return RouteHard, h
+}
+
+// routeFor picks the route for an admitted request and records its
+// hardness score. Requests that need the converted image are pinned to the
+// hard route — only the AE path produces one.
+func (e *Engine) routeFor(r *request) *route {
+	if e.cfg.DisableRouting {
+		return e.hard
+	}
+	name, h := RouteOf(r.pixels, e.cfg.HardnessThreshold)
+	r.hardness = h
+	if name == RouteEasy && !r.wantConverted {
+		return e.easy
+	}
+	return e.hard
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"time"
+
+	"cbnet/internal/metrics"
+)
+
+// engineStats is the engine's live metric store, built on the lock-free
+// primitives in internal/metrics.
+type engineStats struct {
+	start     time.Time
+	submitted metrics.Counter // admitted requests
+	completed metrics.Counter // answered requests
+	rejected  metrics.Counter // ErrOverloaded at admission
+	abandoned metrics.Counter // caller ctx expired after admission
+	easy      routeStats
+	hard      routeStats
+}
+
+type routeStats struct {
+	images      metrics.Counter
+	batches     metrics.Counter
+	batchSizes  *metrics.Histogram
+	queueWaitMS *metrics.Histogram
+	inferMS     *metrics.Histogram
+}
+
+func newEngineStats(cfg Config) *engineStats {
+	newRoute := func() routeStats {
+		sizeBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+		// Extend so MaxBatch always lands in a finite bucket.
+		for sizeBounds[len(sizeBounds)-1] < float64(cfg.MaxBatch) {
+			sizeBounds = append(sizeBounds, sizeBounds[len(sizeBounds)-1]*2)
+		}
+		return routeStats{
+			batchSizes:  metrics.NewHistogram(sizeBounds...),
+			queueWaitMS: metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
+			inferMS:     metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
+		}
+	}
+	return &engineStats{start: time.Now(), easy: newRoute(), hard: newRoute()}
+}
+
+func (s *engineStats) route(name RouteName) *routeStats {
+	if name == RouteEasy {
+		return &s.easy
+	}
+	return &s.hard
+}
+
+func (r *routeStats) observeBatch(n int, infer time.Duration) {
+	r.batches.Inc()
+	r.images.Add(int64(n))
+	r.batchSizes.Observe(float64(n))
+	r.inferMS.Observe(float64(infer) / float64(time.Millisecond))
+}
+
+func (r *routeStats) observeRequest(queueWait time.Duration) {
+	r.queueWaitMS.Observe(float64(queueWait) / float64(time.Millisecond))
+}
+
+// RouteSnapshot is the exported per-route stats view.
+type RouteSnapshot struct {
+	Route         string           `json:"route"`
+	Images        int64            `json:"images"`
+	Batches       int64            `json:"batches"`
+	MeanBatchSize float64          `json:"meanBatchSize"`
+	BatchSizeHist []metrics.Bucket `json:"batchSizeHist"`
+	QueueDepth    int              `json:"queueDepth"`
+	QueueCap      int              `json:"queueCap"`
+	QueueWaitMS   LatencySnapshot  `json:"queueWaitMs"`
+	InferMS       LatencySnapshot  `json:"inferMs"`
+}
+
+// LatencySnapshot summarises one latency histogram.
+type LatencySnapshot struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+}
+
+func latencySnapshot(h *metrics.Histogram) LatencySnapshot {
+	return LatencySnapshot{Mean: h.Mean(), P50: h.Quantile(0.5), P99: h.Quantile(0.99)}
+}
+
+// Snapshot is the engine-wide stats view served by /stats.
+type Snapshot struct {
+	UptimeSeconds    float64         `json:"uptimeSeconds"`
+	Submitted        int64           `json:"submitted"`
+	Completed        int64           `json:"completed"`
+	Rejected         int64           `json:"rejected"`
+	Abandoned        int64           `json:"abandoned"`
+	ThroughputPerSec float64         `json:"throughputPerSec"`
+	Routes           []RouteSnapshot `json:"routes"`
+}
+
+// Stats returns a point-in-time view of the engine's counters and
+// histograms. Under concurrent load individual fields may be mutually
+// slightly stale; totals are never lost.
+func (e *Engine) Stats() Snapshot {
+	uptime := time.Since(e.stats.start).Seconds()
+	snap := Snapshot{
+		UptimeSeconds: uptime,
+		Submitted:     e.stats.submitted.Value(),
+		Completed:     e.stats.completed.Value(),
+		Rejected:      e.stats.rejected.Value(),
+		Abandoned:     e.stats.abandoned.Value(),
+	}
+	if uptime > 0 {
+		snap.ThroughputPerSec = float64(snap.Completed) / uptime
+	}
+	for _, rt := range []*route{e.easy, e.hard} {
+		rs := rt.stats
+		r := RouteSnapshot{
+			Route:         string(rt.name),
+			Images:        rs.images.Value(),
+			Batches:       rs.batches.Value(),
+			BatchSizeHist: rs.batchSizes.Buckets(),
+			QueueDepth:    len(rt.queue),
+			QueueCap:      cap(rt.queue),
+			QueueWaitMS:   latencySnapshot(rs.queueWaitMS),
+			InferMS:       latencySnapshot(rs.inferMS),
+		}
+		if r.Batches > 0 {
+			r.MeanBatchSize = float64(r.Images) / float64(r.Batches)
+		}
+		snap.Routes = append(snap.Routes, r)
+	}
+	return snap
+}

@@ -1,6 +1,8 @@
 package generalize
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"cbnet/internal/core"
@@ -134,5 +136,89 @@ func TestBuildEncoderPipelineEmptyDataset(t *testing.T) {
 	empty := &dataset.Dataset{Family: dataset.MNIST}
 	if _, err := BuildEncoderPipeline(ae, empty, TrainOptions{}); err == nil {
 		t.Fatal("expected empty-dataset error")
+	}
+}
+
+// TestNthElementMatchesSort pins the quickselect used by HardnessScore to
+// the full-sort order statistics it replaced.
+func TestNthElementMatchesSort(t *testing.T) {
+	r := rng.New(4242)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(900)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch trial % 3 {
+			case 0:
+				vals[i] = r.Float64()
+			case 1:
+				vals[i] = 0 // constant input
+			default:
+				vals[i] = float64(i) / float64(n) // pre-sorted input
+			}
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, k := range []int{0, n / 2, n * 95 / 100, n - 1} {
+			scratch := append([]float64(nil), vals...)
+			if got := nthElement(scratch, k); got != sorted[k] {
+				t.Fatalf("trial %d: nthElement(k=%d) = %v, sorted[k] = %v", trial, k, got, sorted[k])
+			}
+		}
+	}
+}
+
+// referenceHardnessScore is the original full-sort implementation, kept as
+// the oracle for the quickselect-based fast path.
+func referenceHardnessScore(img []float32) float64 {
+	const side = dataset.Side
+	var lap float64
+	var lapN int
+	for y := 1; y < side-1; y++ {
+		for x := 1; x < side-1; x++ {
+			c := float64(img[y*side+x])
+			if c < 0.05 {
+				continue
+			}
+			l := 4*c - float64(img[(y-1)*side+x]) - float64(img[(y+1)*side+x]) -
+				float64(img[y*side+x-1]) - float64(img[y*side+x+1])
+			lap += math.Abs(l)
+			lapN++
+		}
+	}
+	sharp := 0.0
+	if lapN > 0 {
+		sharp = lap / float64(lapN)
+	}
+	sorted := make([]float64, len(img))
+	for i, v := range img {
+		sorted[i] = float64(v)
+	}
+	sort.Float64s(sorted)
+	p95 := sorted[len(sorted)*95/100]
+	p50 := sorted[len(sorted)/2]
+	contrast := p95 - p50
+	var bg float64
+	for _, v := range sorted[:len(sorted)/2] {
+		bg += v
+	}
+	bg /= float64(len(sorted) / 2)
+	return 1.2*(1-clamp01(sharp)) + 1.0*(1-clamp01(contrast*1.4)) + 3.0*clamp01(bg*4)
+}
+
+// TestHardnessScoreMatchesSortReference checks the quickselect fast path
+// against the original full-sort formula, bit for bit.
+func TestHardnessScoreMatchesSortReference(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 40; trial++ {
+		fam := []dataset.Family{dataset.MNIST, dataset.FashionMNIST, dataset.KMNIST}[trial%3]
+		img := dataset.RenderSample(fam, trial%dataset.NumClasses, trial%2 == 0, r)
+		if got, want := HardnessScore(img), referenceHardnessScore(img); got != want {
+			t.Fatalf("trial %d: fast %v != reference %v", trial, got, want)
+		}
+	}
+	// Degenerate images exercise the constant-input path.
+	flat := make([]float32, dataset.Pixels)
+	if got, want := HardnessScore(flat), referenceHardnessScore(flat); got != want {
+		t.Fatalf("flat image: fast %v != reference %v", got, want)
 	}
 }

@@ -44,27 +44,78 @@ func HardnessScore(img []float32) float64 {
 		sharp = lap / float64(lapN)
 	}
 
-	// Contrast: the spread between bright and dark percentiles.
-	sorted := make([]float64, len(img))
+	// Contrast: the spread between bright and dark percentiles. The two
+	// order statistics come from quickselect rather than a full sort —
+	// this sits on the serving engine's admission path, where the O(n)
+	// selection is worth several microseconds per request over
+	// sort.Float64s. Values are identical to the sorted version.
+	var scratch [dataset.Pixels]float64
 	for i, v := range img {
-		sorted[i] = float64(v)
+		scratch[i] = float64(v)
 	}
-	sort.Float64s(sorted)
-	p95 := sorted[len(sorted)*95/100]
-	p50 := sorted[len(sorted)/2]
+	mid := len(scratch) / 2
+	p50 := nthElement(scratch[:], mid)
+	// After selecting mid, scratch[:mid] holds the dimmest half (in some
+	// order); the 95th percentile lives in the upper partition.
+	p95 := nthElement(scratch[mid:], len(scratch)*95/100-mid)
 	contrast := p95 - p50
 
 	// Background activity: mean intensity of the dimmest half of pixels —
 	// clean glyphs have near-zero backgrounds, noisy ones don't.
 	var bg float64
-	for _, v := range sorted[:len(sorted)/2] {
+	for _, v := range scratch[:mid] {
 		bg += v
 	}
-	bg /= float64(len(sorted) / 2)
+	bg /= float64(mid)
 
 	// Hard images are blurry (low sharp), washed out (low contrast) and
 	// noisy (high bg). Weights scale each term to comparable magnitude.
 	return 1.2*(1-clamp01(sharp)) + 1.0*(1-clamp01(contrast*1.4)) + 3.0*clamp01(bg*4)
+}
+
+// nthElement partially sorts s so that s[k] holds the value it would have
+// after a full sort, everything before it is ≤ s[k], and everything after
+// is ≥ s[k] (Hoare quickselect with median-of-three pivoting). It returns
+// s[k].
+func nthElement(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot guards against the sorted/constant inputs
+		// common in near-empty images.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return s[k]
 }
 
 func clamp01(x float64) float64 {

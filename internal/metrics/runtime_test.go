@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Add")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-105) > 1e-9 {
+		t.Fatalf("sum %v", got)
+	}
+	if got := h.Mean(); math.Abs(got-26.25) > 1e-9 {
+		t.Fatalf("mean %v", got)
+	}
+	b := h.Buckets()
+	wantCounts := []int64{1, 1, 1, 1}
+	for i, bc := range b {
+		if bc.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count %d, want %d", i, bc.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(b[len(b)-1].UpperBound, 1) {
+		t.Fatal("last bucket should be overflow")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 30))
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 5 || q50 > 20 {
+		t.Fatalf("q50 = %v, want within [5,20]", q50)
+	}
+	if q0, q1 := h.Quantile(0), h.Quantile(1); q0 > q1 {
+		t.Fatalf("quantiles not monotone: q0=%v q1=%v", q0, q1)
+	}
+	// Empty histogram.
+	if got := NewHistogram(1).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	// All observations in overflow report the last finite bound.
+	over := NewHistogram(1, 2)
+	over.Observe(50)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(0.001, 2, 16)...)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(float64(seed*j%37) * 0.01)
+			}
+		}(i + 1)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+	var inBuckets int64
+	for _, b := range h.Buckets() {
+		inBuckets += b.Count
+	}
+	if inBuckets != workers*per {
+		t.Fatalf("bucket total %d, want %d", inBuckets, workers*per)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	b := ExponentialBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds %v, want %v", b, want)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no bounds":      func() { NewHistogram() },
+		"non-increasing": func() { NewHistogram(1, 1) },
+		"bad expo":       func() { ExponentialBounds(0, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBucketJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.Observe(99) // overflow
+	data, err := json.Marshal(h.Buckets())
+	if err != nil {
+		t.Fatalf("marshal with +Inf bound: %v", err)
+	}
+	var back []Bucket
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || !math.IsInf(back[2].UpperBound, 1) || back[2].Count != 1 {
+		t.Fatalf("round trip %+v", back)
+	}
+}

@@ -5,19 +5,22 @@
 //
 //	GET  /healthz   liveness probe
 //	GET  /info      model and device-profile metadata
+//	GET  /stats     inference-engine counters, batch histograms, latencies
 //	POST /classify  classify one image; accepts either
 //	                  application/json  {"pixels": [784 floats in 0..1]}
 //	                  image/png         a 28×28 grayscale (or color) PNG
-//	                and returns prediction, per-stage latency estimates and
-//	                optionally the converted image.
+//	                and returns prediction, route taken, per-stage latency
+//	                estimates and optionally the converted image.
 //
-// The handler serves concurrent requests from a single loaded model:
-// inference-mode forward passes cache nothing, so no locking is needed
-// around the network itself.
+// Requests are served through an internal/engine batching engine: concurrent
+// /classify calls coalesce into micro-batches, easy images skip the
+// autoencoder (hardness-aware routing), and a full admission queue surfaces
+// as 503 Service Unavailable so clients back off instead of piling on.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/png"
@@ -27,26 +30,47 @@ import (
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
-	"cbnet/internal/tensor"
+	"cbnet/internal/engine"
 )
 
 // Server wraps a CBNet pipeline with HTTP handlers.
 type Server struct {
 	Pipeline *core.Pipeline
+	// Engine batches and routes /classify traffic.
+	Engine *engine.Engine
 	// Profile prices each request for the response's latency estimates.
 	Profile device.Profile
 	// Family is reported by /info.
 	Family dataset.Family
 
+	// Per-route model-latency estimates (ms), fixed at load time so the
+	// classify hot path doesn't re-walk the pipeline layers per request.
+	fullLatencyMS   float64
+	directLatencyMS float64
+
 	mux *http.ServeMux
 }
 
-// New builds a server around a trained pipeline.
+// New builds a server around a trained pipeline with a default-configured
+// engine.
 func New(p *core.Pipeline, prof device.Profile, family dataset.Family) *Server {
-	s := &Server{Pipeline: p, Profile: prof, Family: family}
+	return NewWithEngine(p, engine.New(p, engine.Config{}), prof, family)
+}
+
+// NewWithEngine builds a server around an explicitly configured engine.
+func NewWithEngine(p *core.Pipeline, eng *engine.Engine, prof device.Profile, family dataset.Family) *Server {
+	s := &Server{
+		Pipeline:        p,
+		Engine:          eng,
+		Profile:         prof,
+		Family:          family,
+		fullLatencyMS:   prof.Latency(p.Cost()) * 1e3,
+		directLatencyMS: prof.Latency(p.DirectCost()) * 1e3,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /classify", s.handleClassify)
 	s.mux = mux
 	return s
@@ -54,6 +78,10 @@ func New(p *core.Pipeline, prof device.Profile, family dataset.Family) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the inference engine; in-flight requests complete, new ones
+// get 503.
+func (s *Server) Close() { s.Engine.Close() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -68,36 +96,62 @@ type InfoResponse struct {
 	PipelineMACs     int     `json:"pipelineMACs"`
 	ModelLatencyMS   float64 `json:"modelLatencyMs"`
 	AEShareOfLatency float64 `json:"aeShareOfLatency"`
+	// Engine configuration, so operators can see the serving shape.
+	MaxBatch          int     `json:"maxBatch"`
+	Workers           int     `json:"workers"`
+	HardnessThreshold float64 `json:"hardnessThreshold"`
+	RoutingEnabled    bool    `json:"routingEnabled"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	cost := s.Pipeline.Cost()
+	cfg := s.Engine.Config()
 	resp := InfoResponse{
-		Dataset:          s.Family.String(),
-		Device:           s.Profile.Name,
-		BottleneckWidth:  s.Pipeline.AE.BottleneckWidth(),
-		PipelineMACs:     cost.TotalMACs(),
-		ModelLatencyMS:   s.Profile.Latency(cost) * 1e3,
-		AEShareOfLatency: s.Pipeline.AECostShare(s.Profile),
+		Dataset:           s.Family.String(),
+		Device:            s.Profile.Name,
+		BottleneckWidth:   s.Pipeline.AE.BottleneckWidth(),
+		PipelineMACs:      cost.TotalMACs(),
+		ModelLatencyMS:    s.Profile.Latency(cost) * 1e3,
+		AEShareOfLatency:  s.Pipeline.AECostShare(s.Profile),
+		MaxBatch:          cfg.MaxBatch,
+		Workers:           cfg.Workers,
+		HardnessThreshold: cfg.HardnessThreshold,
+		RoutingEnabled:    !cfg.DisableRouting,
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Engine.Stats())
 }
 
 // ClassifyRequest is the JSON /classify payload.
 type ClassifyRequest struct {
 	Pixels []float32 `json:"pixels"`
-	// IncludeConverted echoes the autoencoder output in the response.
+	// IncludeConverted echoes the autoencoder output in the response (and
+	// therefore forces the full AE route).
 	IncludeConverted bool `json:"includeConverted,omitempty"`
 }
 
 // ClassifyResponse is the /classify result.
 type ClassifyResponse struct {
 	Class int `json:"class"`
-	// ModelLatencyMS is the calibrated edge-device estimate; WallLatencyMS
-	// is this host's actual processing time.
-	ModelLatencyMS float64   `json:"modelLatencyMs"`
-	WallLatencyMS  float64   `json:"wallLatencyMs"`
-	Converted      []float32 `json:"converted,omitempty"`
+	// Route is the engine path taken: "easy" (classifier only) or "hard"
+	// (AE + classifier).
+	Route string `json:"route"`
+	// Hardness is the request's §V heuristic score (0 when routing is
+	// disabled).
+	Hardness float64 `json:"hardness"`
+	// BatchSize is the micro-batch this request was served in.
+	BatchSize int `json:"batchSize"`
+	// ModelLatencyMS is the calibrated edge-device estimate for the route
+	// actually taken; WallLatencyMS is this host's actual processing time
+	// including batching queue wait.
+	ModelLatencyMS float64 `json:"modelLatencyMs"`
+	WallLatencyMS  float64 `json:"wallLatencyMs"`
+	// QueueWaitMS is the time spent coalescing before the forward pass.
+	QueueWaitMS float64   `json:"queueWaitMs"`
+	Converted   []float32 `json:"converted,omitempty"`
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -136,18 +190,40 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	x := tensor.FromSlice(append([]float32(nil), pixels...), 1, dataset.Pixels)
-	converted := s.Pipeline.Convert(x)
-	logits := s.Pipeline.Classifier.Forward(converted, false)
+	res, err := s.Engine.Submit(r.Context(), engine.Request{
+		Pixels:           pixels,
+		IncludeConverted: includeConverted,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "engine overloaded, retry later")
+		return
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		// Context cancellation means the client has gone away; any status
+		// we write is best-effort.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	wall := time.Since(start)
 
-	resp := ClassifyResponse{
-		Class:          logits.Row(0).ArgMax(),
-		ModelLatencyMS: s.Profile.Latency(s.Pipeline.Cost()) * 1e3,
-		WallLatencyMS:  float64(wall.Microseconds()) / 1e3,
+	modelMS := s.fullLatencyMS
+	if res.Route == string(engine.RouteEasy) {
+		modelMS = s.directLatencyMS
 	}
-	if includeConverted {
-		resp.Converted = converted.Data
+	resp := ClassifyResponse{
+		Class:          res.Class,
+		Route:          res.Route,
+		Hardness:       res.Hardness,
+		BatchSize:      res.BatchSize,
+		ModelLatencyMS: modelMS,
+		WallLatencyMS:  float64(wall.Microseconds()) / 1e3,
+		QueueWaitMS:    float64(res.QueueWait.Microseconds()) / 1e3,
+		Converted:      res.Converted,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -14,24 +14,28 @@ import (
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
+	"cbnet/internal/engine"
 	"cbnet/internal/models"
 	"cbnet/internal/rng"
 )
 
 // testServer builds a server around an untrained pipeline — handler
 // behaviour (routing, validation, encoding) does not depend on weights.
-func testServer() *Server {
+func testServer(t *testing.T) *Server {
+	t.Helper()
 	r := rng.New(1)
 	b := models.NewBranchyLeNet(r, 0.05)
 	pipe := &core.Pipeline{
 		AE:         models.NewTableIAE(dataset.MNIST, r),
 		Classifier: models.ExtractLightweight(b),
 	}
-	return New(pipe, device.RaspberryPi4(), dataset.MNIST)
+	s := New(pipe, device.RaspberryPi4(), dataset.MNIST)
+	t.Cleanup(s.Close)
+	return s
 }
 
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -44,7 +48,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestInfo(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/info")
 	if err != nil {
@@ -83,7 +87,7 @@ func classifyJSON(t *testing.T, url string, req ClassifyRequest) (*http.Response
 }
 
 func TestClassifyJSON(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	r := rng.New(2)
 	img := dataset.RenderSample(dataset.MNIST, 3, false, r)
@@ -103,7 +107,7 @@ func TestClassifyJSON(t *testing.T) {
 }
 
 func TestClassifyIncludeConverted(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	r := rng.New(3)
 	img := dataset.RenderSample(dataset.MNIST, 5, true, r)
@@ -122,7 +126,7 @@ func TestClassifyIncludeConverted(t *testing.T) {
 }
 
 func TestClassifyPNG(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	r := rng.New(4)
 	pix := dataset.RenderSample(dataset.MNIST, 7, false, r)
@@ -152,7 +156,7 @@ func TestClassifyPNG(t *testing.T) {
 }
 
 func TestClassifyRejectsBadInput(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 
 	// Wrong pixel count.
@@ -202,7 +206,7 @@ func TestClassifyRejectsBadInput(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	// GET on classify must not be routed.
 	resp, err := http.Get(srv.URL + "/classify")
@@ -216,7 +220,7 @@ func TestMethodRouting(t *testing.T) {
 }
 
 func TestConcurrentRequests(t *testing.T) {
-	srv := httptest.NewServer(testServer())
+	srv := httptest.NewServer(testServer(t))
 	defer srv.Close()
 	r := rng.New(5)
 	img := dataset.RenderSample(dataset.MNIST, 1, false, r)
@@ -278,4 +282,115 @@ func pngRoundTrip(img image.Image) ([]float32, error) {
 		return nil, err
 	}
 	return pngToPixels(decoded)
+}
+
+func TestClassifyReportsRoute(t *testing.T) {
+	srv := httptest.NewServer(testServer(t))
+	defer srv.Close()
+	r := rng.New(6)
+	img := dataset.RenderSample(dataset.MNIST, 2, false, r)
+	resp, out := classifyJSON(t, srv.URL, ClassifyRequest{Pixels: img})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Route != string(engine.RouteEasy) && out.Route != string(engine.RouteHard) {
+		t.Fatalf("route %q", out.Route)
+	}
+	if out.BatchSize < 1 {
+		t.Fatalf("batch size %d", out.BatchSize)
+	}
+	if out.Hardness <= 0 {
+		t.Fatalf("hardness %v, want > 0 with routing enabled", out.Hardness)
+	}
+	if out.QueueWaitMS < 0 {
+		t.Fatalf("queue wait %v", out.QueueWaitMS)
+	}
+}
+
+func TestEasyRouteReportsCheaperModelLatency(t *testing.T) {
+	// When routing sends an image down the classifier-only path, the
+	// calibrated estimate must exclude the autoencoder's share.
+	s := testServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	r := rng.New(7)
+	fullMS := s.Profile.Latency(s.Pipeline.Cost()) * 1e3
+	for i := 0; i < 20; i++ {
+		img := dataset.RenderSample(dataset.MNIST, i%dataset.NumClasses, false, r)
+		resp, out := classifyJSON(t, srv.URL, ClassifyRequest{Pixels: img})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if out.Route == string(engine.RouteEasy) {
+			if out.ModelLatencyMS >= fullMS {
+				t.Fatalf("easy route model latency %v not below full-path %v", out.ModelLatencyMS, fullMS)
+			}
+			return
+		}
+	}
+	t.Fatal("no clean render routed easy in 20 tries")
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testServer(t))
+	defer srv.Close()
+	r := rng.New(8)
+	img := dataset.RenderSample(dataset.MNIST, 4, false, r)
+	for i := 0; i < 3; i++ {
+		resp, _ := classifyJSON(t, srv.URL, ClassifyRequest{Pixels: img})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify status %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var snap engine.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Submitted != 3 || snap.Completed != 3 {
+		t.Fatalf("stats %d/%d, want 3/3", snap.Submitted, snap.Completed)
+	}
+	if len(snap.Routes) != 2 {
+		t.Fatalf("routes %d", len(snap.Routes))
+	}
+}
+
+func TestClassifyAfterCloseIsUnavailable(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	s.Close()
+	r := rng.New(9)
+	img := dataset.RenderSample(dataset.MNIST, 6, false, r)
+	resp, _ := classifyJSON(t, srv.URL, ClassifyRequest{Pixels: img})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 after shutdown", resp.StatusCode)
+	}
+}
+
+func TestInfoReportsEngineConfig(t *testing.T) {
+	srv := httptest.NewServer(testServer(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.MaxBatch <= 0 || info.Workers <= 0 {
+		t.Fatalf("engine config missing from info: %+v", info)
+	}
+	if !info.RoutingEnabled || info.HardnessThreshold != engine.DefaultHardnessThreshold {
+		t.Fatalf("routing config wrong in info: %+v", info)
+	}
 }
