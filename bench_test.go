@@ -359,6 +359,49 @@ func BenchmarkHostCBNetPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkHostCBNetPipelineScratch is the engine worker's actual hot loop:
+// batched im2col + blocked GEMM with every buffer borrowed from a warm
+// scratch arena. -benchmem must report ~0 allocs/op; the gap to
+// BenchmarkHostCBNetPipeline is the cost of the allocating wrapper.
+func BenchmarkHostCBNetPipelineScratch(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	x := hostBatch(16)
+	dst := make([]int, 16)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		pipe.InferInto(dst, x, s)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// BenchmarkHostClassifyDirectScratch is the zero-allocation easy-route
+// path at the single-image latency point.
+func BenchmarkHostClassifyDirectScratch(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	x := hostBatch(1)
+	dst := make([]int, 1)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		pipe.ClassifyDirectInto(dst, x, s)
+	}
+}
+
 func BenchmarkHostBranchyInfer(b *testing.B) {
 	br := models.NewBranchyLeNet(rng.New(6), 0.2)
 	x := hostBatch(16)

@@ -1,11 +1,16 @@
-// Command cbnet-bench regenerates the paper's tables and figures.
+// Command cbnet-bench regenerates the paper's tables and figures, and
+// captures machine-readable host performance snapshots.
 //
 // Usage:
 //
 //	cbnet-bench -exp table2                 # one experiment
 //	cbnet-bench -exp all -train 6000        # everything, bigger training set
+//	cbnet-bench -exp perf                   # perf snapshot → BENCH_<date>.json
+//	cbnet-bench -exp perf -json -           # perf snapshot to stdout
+//	cbnet-bench -exp perf -filter gemm      # only the GEMM benchmarks
 //
-// Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, all.
+// Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, all
+// ("all" covers the paper experiments; perf runs only when asked).
 package main
 
 import (
@@ -14,22 +19,34 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"cbnet/internal/bench"
 	"cbnet/internal/dataset"
 	"cbnet/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", or all")
+		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", perf, or all")
 		trainN = flag.Int("train", 2000, "training-set size per dataset")
 		testN  = flag.Int("test", 600, "test-set size per dataset")
 		seed   = flag.Uint64("seed", 42, "master seed")
 		reps   = flag.Int("reps", 3, "repetitions for scalability experiments")
 		drop   = flag.Float64("maxdrop", 0.02, "accuracy tolerance for exit-threshold tuning")
 		verb   = flag.Bool("v", false, "verbose training progress")
+		jsonTo = flag.String("json", "", "perf snapshot destination: a path, '-' for stdout, or empty for BENCH_<date>.json")
+		filter = flag.String("filter", "", "comma-separated substrings selecting perf benchmarks (empty = all)")
 	)
 	flag.Parse()
+
+	if *exp == "perf" {
+		if err := runPerf(*jsonTo, *filter); err != nil {
+			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var log io.Writer
 	if *verb {
@@ -43,6 +60,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runPerf captures a perf snapshot and writes it as JSON, printing the
+// human-readable summary to stderr so piping the JSON stays clean.
+func runPerf(jsonTo, filter string) error {
+	var filters []string
+	for _, f := range strings.Split(filter, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			filters = append(filters, f)
+		}
+	}
+	now := time.Now()
+	snap := bench.Run(now, filters...)
+	fmt.Fprint(os.Stderr, snap.Summary())
+	if len(snap.Results) == 0 {
+		return fmt.Errorf("no perf benchmarks match filter %q (have: %s)", filter, strings.Join(bench.Names(), ", "))
+	}
+	if jsonTo == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	if jsonTo == "" {
+		jsonTo = "BENCH_" + now.UTC().Format("2006-01-02") + ".json"
+	}
+	f, err := os.Create(jsonTo)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", jsonTo)
+	return nil
 }
 
 func run(r *harness.Runner, exp string) error {

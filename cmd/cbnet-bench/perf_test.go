@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunPerfWritesJSON drives the perf mode with a narrow filter (one
+// cheap kernel benchmark) and validates the emitted snapshot file.
+func TestRunPerfWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := runPerf(out, "rowops/addrowvector"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"nsPerOp"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Schema != "cbnet-bench-perf/v1" || len(snap.Results) != 1 || snap.Results[0].NsPerOp <= 0 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+}
+
+func TestRunPerfUnknownFilter(t *testing.T) {
+	if err := runPerf(filepath.Join(t.TempDir(), "x.json"), "no-such-benchmark"); err == nil {
+		t.Fatal("expected error for a filter matching nothing")
+	}
+}

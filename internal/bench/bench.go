@@ -1,0 +1,318 @@
+// Package bench is the repo's machine-readable performance harness: a
+// registry of kernel-, layer-, and engine-level benchmarks runnable from
+// cbnet-bench (-exp perf), producing a BENCH_<date>.json snapshot so the
+// perf trajectory across PRs is diffable instead of anecdotal.
+//
+// Each benchmark is a standard testing.B function measured with
+// testing.Benchmark, so numbers match `go test -bench` output for the same
+// shapes.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"cbnet/internal/core"
+	"cbnet/internal/dataset"
+	"cbnet/internal/engine"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	AllocsPerOp int64              `json:"allocsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full perf capture written to BENCH_<date>.json.
+type Snapshot struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"goVersion"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	FMAKernel  bool     `json:"fmaKernel"`
+	Results    []Result `json:"results"`
+}
+
+type benchDef struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// registry lists every perf benchmark in reporting order. Names are
+// hierarchical so future additions group naturally in diffs.
+func registry() []benchDef {
+	return []benchDef{
+		{"gemm/naive/256x256x256", benchGEMMNaive256},
+		{"gemm/dispatch/256x256x256", benchGEMMDispatch256},
+		{"gemm/dispatch/conv2-batch32", benchShape(48, 75, 3200)},
+		{"gemm/dispatch/conv3-batch32", benchShape(256, 1200, 32)},
+		{"gemm/dispatch/dense784x128-batch32", benchShape(32, 784, 128)},
+		{"gemm/gemv/784x128", benchGemv},
+		{"rowops/matvec/256x1200", benchMatVec},
+		{"rowops/addrowvector/32x784", benchAddRowVector},
+		{"rowops/sumrows/256x784", benchSumRows},
+		{"pipeline/classify-direct/batch16", benchClassifyDirect},
+		{"pipeline/infer/batch16", benchInfer},
+		{"engine/throughput/routed", benchEngineThroughput},
+	}
+}
+
+// Names returns the registered benchmark names in order.
+func Names() []string {
+	defs := registry()
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Run measures the selected benchmarks (all when filter is empty; otherwise
+// those whose name contains any filter substring) and assembles a snapshot.
+func Run(now time.Time, filters ...string) Snapshot {
+	snap := Snapshot{
+		Schema:     "cbnet-bench-perf/v1",
+		Date:       now.UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		FMAKernel:  tensor.BlockedKernelEnabled(),
+	}
+	for _, d := range registry() {
+		if !matches(d.name, filters) {
+			continue
+		}
+		r := testing.Benchmark(d.fn)
+		res := Result{
+			Name:        d.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		snap.Results = append(snap.Results, res)
+	}
+	return snap
+}
+
+func matches(name string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON writes the snapshot with stable formatting for clean diffs.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Summary renders a human-readable table of the snapshot.
+func (s Snapshot) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "perf snapshot %s (%s %s/%s, GOMAXPROCS=%d, FMA kernel=%v)\n",
+		s.Date, s.GoVersion, s.GOOS, s.GOARCH, s.GOMAXPROCS, s.FMAKernel)
+	for _, r := range s.Results {
+		fmt.Fprintf(&sb, "  %-40s %12.0f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %s=%.2f", k, r.Metrics[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Kernel benchmarks.
+
+func fillPattern(data []float32) {
+	for i := range data {
+		data[i] = float32(i%13)*0.1 - 0.6
+	}
+}
+
+func benchGEMMAt(b *testing.B, m, k, n int, f func(a, bb, c []float32)) {
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	fillPattern(a)
+	fillPattern(bb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, bb, c)
+	}
+	b.ReportMetric(2*float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func benchGEMMNaive256(b *testing.B) {
+	benchGEMMAt(b, 256, 256, 256, func(a, bb, c []float32) {
+		tensor.GEMMNaive(a, bb, c, 256, 256, 256, 1, 0)
+	})
+}
+
+func benchGEMMDispatch256(b *testing.B) {
+	benchGEMMAt(b, 256, 256, 256, func(a, bb, c []float32) {
+		tensor.GEMM(a, bb, c, 256, 256, 256, 1, 0)
+	})
+}
+
+func benchShape(m, k, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		benchGEMMAt(b, m, k, n, func(a, bb, c []float32) {
+			tensor.GEMM(a, bb, c, m, k, n, 1, 0)
+		})
+	}
+}
+
+func benchGemv(b *testing.B) {
+	benchGEMMAt(b, 1, 784, 128, func(a, bb, c []float32) {
+		tensor.GEMM(a, bb, c, 1, 784, 128, 1, 0)
+	})
+}
+
+func benchMatVec(b *testing.B) {
+	const m, k = 256, 1200
+	a := make([]float32, m*k)
+	x := make([]float32, k)
+	y := make([]float32, m)
+	fillPattern(a)
+	fillPattern(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatVecInto(y, a, x, m, k)
+	}
+}
+
+func benchAddRowVector(b *testing.B) {
+	t := tensor.New(32, 784)
+	v := tensor.New(784)
+	fillPattern(t.Data)
+	fillPattern(v.Data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.AddRowVector(v)
+	}
+}
+
+func benchSumRows(b *testing.B) {
+	t := tensor.New(256, 784)
+	fillPattern(t.Data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.SumRows()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline and engine benchmarks.
+
+func perfPipeline() *core.Pipeline {
+	br := models.NewBranchyLeNet(rng.New(31), 0.05)
+	return &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(32)),
+		Classifier: models.ExtractLightweight(br),
+	}
+}
+
+func perfBatch(n int) *tensor.Tensor {
+	x := tensor.New(n, dataset.Pixels)
+	x.RandUniform(rng.New(7), 0, 1)
+	return x
+}
+
+func benchClassifyDirect(b *testing.B) {
+	pipe := perfPipeline()
+	x := perfBatch(16)
+	dst := make([]int, 16)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		pipe.ClassifyDirectInto(dst, x, s)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+func benchInfer(b *testing.B) {
+	pipe := perfPipeline()
+	x := perfBatch(16)
+	dst := make([]int, 16)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		pipe.InferInto(dst, x, s)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+func benchEngineThroughput(b *testing.B) {
+	pipe := perfPipeline()
+	e := engine.New(pipe, engine.Config{
+		MaxBatch: 32, MaxWait: 500 * time.Microsecond, QueueDepth: 4096,
+	})
+	defer e.Close()
+	imgs := make([][]float32, 64)
+	r := rng.New(33)
+	for i := range imgs {
+		imgs[i] = dataset.RenderSample(dataset.MNIST, i%dataset.NumClasses, i%5 == 4, r)
+	}
+	ctx := context.Background()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := e.Submit(ctx, engine.Request{Pixels: imgs[i%len(imgs)]}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunFiltered measures a single cheap benchmark end to end and checks
+// the snapshot is well-formed. Full runs belong to cbnet-bench -exp perf;
+// a unit test only needs the plumbing.
+func TestRunFiltered(t *testing.T) {
+	snap := Run(time.Date(2026, 7, 29, 0, 0, 0, 0, time.UTC), "rowops/addrowvector")
+	if len(snap.Results) != 1 {
+		t.Fatalf("filtered run returned %d results, want 1", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "rowops/addrowvector/32x784" {
+		t.Fatalf("unexpected result name %q", r.Name)
+	}
+	if r.Iterations <= 0 || r.NsPerOp <= 0 {
+		t.Fatalf("degenerate measurement: %+v", r)
+	}
+	if snap.Schema != "cbnet-bench-perf/v1" || snap.Date != "2026-07-29T00:00:00Z" {
+		t.Fatalf("snapshot header %q %q", snap.Schema, snap.Date)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		Schema: "cbnet-bench-perf/v1", Date: "2026-07-29T00:00:00Z",
+		Results: []Result{{Name: "x", Iterations: 3, NsPerOp: 1.5, Metrics: map[string]float64{"GFLOPS": 2}}},
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Metrics["GFLOPS"] != 2 {
+		t.Fatalf("round trip lost metrics: %+v", back)
+	}
+}
+
+func TestNamesAndSummary(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("registry has %d benchmarks, expected the full suite", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate benchmark name %q", n)
+		}
+		seen[n] = true
+	}
+	if !seen["gemm/naive/256x256x256"] || !seen["engine/throughput/routed"] {
+		t.Fatalf("registry missing expected entries: %v", names)
+	}
+	snap := Snapshot{Schema: "cbnet-bench-perf/v1", Results: []Result{{Name: "a/b", NsPerOp: 10}}}
+	if !strings.Contains(snap.Summary(), "a/b") {
+		t.Fatal("summary does not mention result names")
+	}
+}

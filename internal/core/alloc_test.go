@@ -1,0 +1,127 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/models"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// The engine's zero-allocation promise: once a worker's scratch arena has
+// warmed to the pipeline's working-set size, steady-state classification
+// performs no heap allocations. AllocsPerRun pins GOMAXPROCS to 1, which
+// also keeps the layer kernels on their serial (closure-free) paths — the
+// same regime the alloc-sensitive single-core edge deployment runs in.
+
+func allocTestPipeline() *Pipeline {
+	br := models.NewBranchyLeNet(rng.New(11), 0.05)
+	return &Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(12)),
+		Classifier: models.ExtractLightweight(br),
+	}
+}
+
+func testBatch(n int) *tensor.Tensor {
+	x := tensor.New(n, dataset.Pixels)
+	x.RandUniform(rng.New(13), 0, 1)
+	return x
+}
+
+// measureSteadyState warms the arena with two full passes, then measures.
+// GC is disabled during the measurement so sync.Pool eviction can't charge
+// unrelated allocations to the hot path.
+func measureSteadyState(f func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f()
+	f()
+	return testing.AllocsPerRun(30, f)
+}
+
+func TestClassifyDirectIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	pipe := allocTestPipeline()
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	for _, n := range []int{1, 16} {
+		x := testBatch(n)
+		dst := make([]int, n)
+		allocs := measureSteadyState(func() {
+			s.Reset()
+			pipe.ClassifyDirectInto(dst, x, s)
+		})
+		if allocs != 0 {
+			t.Errorf("ClassifyDirectInto batch %d: %v allocs per warm call, want 0", n, allocs)
+		}
+	}
+}
+
+func TestInferIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	pipe := allocTestPipeline()
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	for _, n := range []int{1, 16} {
+		x := testBatch(n)
+		dst := make([]int, n)
+		allocs := measureSteadyState(func() {
+			s.Reset()
+			pipe.InferInto(dst, x, s)
+		})
+		if allocs != 0 {
+			t.Errorf("InferInto batch %d: %v allocs per warm call, want 0", n, allocs)
+		}
+	}
+}
+
+// TestPooledWrappersBounded keeps the convenience wrappers honest: Infer
+// and ClassifyDirect may allocate only the prediction slice and pool
+// bookkeeping, not per-layer buffers.
+func TestPooledWrappersBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc-bound assertion only meaningful without -race")
+	}
+	pipe := allocTestPipeline()
+	x := testBatch(16)
+	allocs := measureSteadyState(func() { _ = pipe.ClassifyDirect(x) })
+	// One []int result plus sync.Pool noise; the pre-scratch implementation
+	// allocated hundreds of times per call.
+	if allocs > 8 {
+		t.Errorf("ClassifyDirect: %v allocs per warm call, want ≤ 8", allocs)
+	}
+	allocs = measureSteadyState(func() { _ = pipe.Infer(x) })
+	if allocs > 8 {
+		t.Errorf("Infer: %v allocs per warm call, want ≤ 8", allocs)
+	}
+}
+
+// TestInferIntoMatchesInfer guards the fast path's correctness against the
+// allocating wrapper.
+func TestInferIntoMatchesInfer(t *testing.T) {
+	pipe := allocTestPipeline()
+	x := testBatch(16)
+	want := pipe.Infer(x)
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	dst := make([]int, 16)
+	pipe.InferInto(dst, x, s)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("InferInto[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	s.Reset()
+	wantD := pipe.ClassifyDirect(x)
+	pipe.ClassifyDirectInto(dst, x, s)
+	for i := range wantD {
+		if dst[i] != wantD[i] {
+			t.Fatalf("ClassifyDirectInto[%d] = %d, want %d", i, dst[i], wantD[i])
+		}
+	}
+}

@@ -36,10 +36,36 @@ func (p *Pipeline) Convert(x *tensor.Tensor) *tensor.Tensor {
 	return p.AE.Net.Forward(x, false)
 }
 
+// ConvertScratch runs the autoencoder stage with all buffers borrowed from
+// the scratch arena. The result is arena-owned: copy out anything that must
+// survive the arena's reset.
+func (p *Pipeline) ConvertScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	return p.AE.Net.InferScratch(x, s)
+}
+
+// LogitsScratch runs only the lightweight classifier, returning
+// arena-owned logits.
+func (p *Pipeline) LogitsScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	return p.Classifier.InferScratch(x, s)
+}
+
 // Infer classifies a batch through the full pipeline.
 func (p *Pipeline) Infer(x *tensor.Tensor) []int {
-	converted := p.Convert(x)
-	return argmaxRows(p.Classifier.Forward(converted, false))
+	preds := make([]int, x.Shape[0])
+	s := tensor.GetScratch()
+	p.InferInto(preds, x, s)
+	tensor.PutScratch(s)
+	return preds
+}
+
+// InferInto classifies a batch through the full pipeline (AE + classifier)
+// into dst, which must have length x.Shape[0]. All intermediates come from
+// s; once the arena has warmed to the pipeline's working-set size the call
+// performs zero heap allocations (single-threaded; parallel fan-out spawns
+// goroutines).
+func (p *Pipeline) InferInto(dst []int, x *tensor.Tensor, s *tensor.Scratch) {
+	converted := p.AE.Net.InferScratch(x, s)
+	p.Classifier.InferScratch(converted, s).ArgMaxRows(dst)
 }
 
 // ClassifyDirect classifies a batch with the lightweight classifier alone,
@@ -48,15 +74,18 @@ func (p *Pipeline) Infer(x *tensor.Tensor) []int {
 // without conversion, so routing them around the AE saves its entire share
 // of the pipeline latency (up to 25%, §IV-D).
 func (p *Pipeline) ClassifyDirect(x *tensor.Tensor) []int {
-	return argmaxRows(p.Classifier.Forward(x, false))
+	preds := make([]int, x.Shape[0])
+	s := tensor.GetScratch()
+	p.ClassifyDirectInto(preds, x, s)
+	tensor.PutScratch(s)
+	return preds
 }
 
-func argmaxRows(logits *tensor.Tensor) []int {
-	preds := make([]int, logits.Shape[0])
-	for i := range preds {
-		preds[i] = logits.Row(i).ArgMax()
-	}
-	return preds
+// ClassifyDirectInto is the allocation-free form of ClassifyDirect: it
+// classifies into dst (length x.Shape[0]) with every intermediate borrowed
+// from s.
+func (p *Pipeline) ClassifyDirectInto(dst []int, x *tensor.Tensor, s *tensor.Scratch) {
+	p.Classifier.InferScratch(x, s).ArgMaxRows(dst)
 }
 
 // Accuracy returns pipeline classification accuracy over a dataset.

@@ -18,8 +18,9 @@ const (
 )
 
 // inferFn runs a batch and returns (logits, converted); converted is nil on
-// routes that skip the autoencoder.
-type inferFn func(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor)
+// routes that skip the autoencoder. Both results are borrowed from s and
+// only valid until its next Reset.
+type inferFn func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor)
 
 // route owns one admission queue, one batcher, and a pool of workers.
 type route struct {
@@ -124,29 +125,42 @@ func (e *Engine) batchLoop(rt *route) {
 }
 
 // worker executes formed batches until the batcher closes the channel.
+// Each worker owns one scratch arena for its lifetime: after the first few
+// batches grow it to the pipeline's working-set size, the steady-state
+// forward pass allocates nothing.
 func (e *Engine) worker(rt *route) {
 	defer e.wg.Done()
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	preds := make([]int, 0, e.cfg.MaxBatch)
 	for batch := range rt.batches {
-		e.runBatch(rt, batch)
+		e.runBatch(rt, batch, s, preds[:min(len(batch), cap(preds))])
 	}
 }
 
-// runBatch assembles the batch tensor, runs the route's forward pass, and
-// answers every request in the batch.
-func (e *Engine) runBatch(rt *route, batch []*request) {
+// runBatch assembles the batch tensor in the worker's arena, runs the
+// route's forward pass, and answers every request in the batch. Everything
+// a requester keeps (class, converted image) is extracted or copied before
+// the function returns, because the next batch resets the arena.
+func (e *Engine) runBatch(rt *route, batch []*request, s *tensor.Scratch, preds []int) {
 	n := len(batch)
-	x := tensor.New(n, dataset.Pixels)
+	s.Reset()
+	x := s.Tensor(n, dataset.Pixels)
 	for i, r := range batch {
 		copy(x.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], r.pixels)
 	}
+	if len(preds) != n { // batch larger than MaxBatch never happens; be safe
+		preds = make([]int, n)
+	}
 	start := time.Now()
-	logits, converted := rt.infer(x)
+	logits, converted := rt.infer(x, s)
 	inferDur := time.Since(start)
+	logits.ArgMaxRows(preds)
 
 	rt.stats.observeBatch(n, inferDur)
 	for i, r := range batch {
 		res := Result{
-			Class:     logits.Row(i).ArgMax(),
+			Class:     preds[i],
 			Route:     string(rt.name),
 			Hardness:  r.hardness,
 			BatchSize: n,

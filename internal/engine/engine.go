@@ -160,12 +160,12 @@ func New(pipe *core.Pipeline, cfg Config) *Engine {
 		pipe:  pipe,
 		stats: newEngineStats(cfg),
 	}
-	e.easy = e.newRoute(RouteEasy, func(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-		return pipe.Classifier.Forward(x, false), nil
+	e.easy = e.newRoute(RouteEasy, func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor) {
+		return pipe.LogitsScratch(x, s), nil
 	})
-	e.hard = e.newRoute(RouteHard, func(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-		converted := pipe.Convert(x)
-		return pipe.Classifier.Forward(converted, false), converted
+	e.hard = e.newRoute(RouteHard, func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor) {
+		converted := pipe.ConvertScratch(x, s)
+		return pipe.LogitsScratch(converted, s), converted
 	})
 	if cfg.DisableRouting {
 		// The easy route is never used: leave it unstarted rather than

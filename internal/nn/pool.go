@@ -79,45 +79,70 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 		p.lastBatch = n
 	}
 	tensor.ParallelFor(n, p.InSize()*p.Pool, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			in := x.Data[i*p.InSize() : (i+1)*p.InSize()]
-			out := y.Data[i*outWidth : (i+1)*outWidth]
-			oi := 0
-			for c := 0; c < p.C; c++ {
-				plane := in[c*p.H*p.W : (c+1)*p.H*p.W]
-				for oy := 0; oy < p.OutH; oy++ {
-					for ox := 0; ox < p.OutW; ox++ {
-						y0, x0 := oy*p.Stride, ox*p.Stride
-						best := plane[y0*p.W+x0]
-						bestIdx := int32(c*p.H*p.W + y0*p.W + x0)
-						for ky := 0; ky < p.Pool; ky++ {
-							iy := y0 + ky
-							if iy >= p.H {
+		p.poolRange(x, y, args, i0, i1)
+	})
+	return y
+}
+
+// ForwardScratch max-pools into an arena-borrowed output, allocating
+// nothing once the arena is warm.
+func (p *MaxPool2D) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
+	n := x.Shape[0]
+	if len(x.Shape) != 2 || x.Shape[1] != p.InSize() {
+		panic(fmt.Sprintf("maxpool %s: input shape %v, want (N, %d)", p.LayerName, x.Shape, p.InSize()))
+	}
+	y := s.Tensor(n, p.C*p.OutH*p.OutW)
+	if !tensor.ShouldParallel(n, p.InSize()*p.Pool) {
+		p.poolRange(x, y, nil, 0, n)
+	} else {
+		tensor.ParallelFor(n, p.InSize()*p.Pool, func(i0, i1 int) {
+			p.poolRange(x, y, nil, i0, i1)
+		})
+	}
+	return y
+}
+
+// poolRange pools samples [i0, i1); when args is non-nil it also records
+// the winning input index of every output element for the backward pass.
+func (p *MaxPool2D) poolRange(x, y *tensor.Tensor, args []int32, i0, i1 int) {
+	outWidth := p.C * p.OutH * p.OutW
+	for i := i0; i < i1; i++ {
+		in := x.Data[i*p.InSize() : (i+1)*p.InSize()]
+		out := y.Data[i*outWidth : (i+1)*outWidth]
+		oi := 0
+		for c := 0; c < p.C; c++ {
+			plane := in[c*p.H*p.W : (c+1)*p.H*p.W]
+			for oy := 0; oy < p.OutH; oy++ {
+				for ox := 0; ox < p.OutW; ox++ {
+					y0, x0 := oy*p.Stride, ox*p.Stride
+					best := plane[y0*p.W+x0]
+					bestIdx := int32(c*p.H*p.W + y0*p.W + x0)
+					for ky := 0; ky < p.Pool; ky++ {
+						iy := y0 + ky
+						if iy >= p.H {
+							break
+						}
+						for kx := 0; kx < p.Pool; kx++ {
+							ix := x0 + kx
+							if ix >= p.W {
 								break
 							}
-							for kx := 0; kx < p.Pool; kx++ {
-								ix := x0 + kx
-								if ix >= p.W {
-									break
-								}
-								v := plane[iy*p.W+ix]
-								if v > best {
-									best = v
-									bestIdx = int32(c*p.H*p.W + iy*p.W + ix)
-								}
+							v := plane[iy*p.W+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(c*p.H*p.W + iy*p.W + ix)
 							}
 						}
-						out[oi] = best
-						if training {
-							args[i*outWidth+oi] = bestIdx
-						}
-						oi++
 					}
+					out[oi] = best
+					if args != nil {
+						args[i*outWidth+oi] = bestIdx
+					}
+					oi++
 				}
 			}
 		}
-	})
-	return y
+	}
 }
 
 // Backward routes each output gradient to the input position that won the

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"testing"
+
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// scratchTestNet covers every ScratchLayer implementation plus the
+// identity-at-inference layers that fall back to Forward.
+func scratchTestNet(r *rng.RNG) *Sequential {
+	return NewSequential("scratch-test",
+		MustConv2D("conv1", 1, 12, 12, 4, 3, 3, 1, 1, r),
+		NewReLU("relu1"),
+		MustMaxPool2D("pool1", 4, 12, 12, 2, 2),
+		MustConv2D("conv2", 4, 6, 6, 6, 3, 3, 1, 0, r),
+		NewSigmoid("sig"),
+		NewDense("fc1", 6*4*4, 32, r),
+		NewDropout("drop", 0.3, rng.New(5)),
+		NewActivityRegularizer("reg", 1e-6),
+		NewDense("fc2", 32, 10, r),
+		NewSoftmax("sm"),
+	)
+}
+
+// closeEnough allows for the rounding difference between the blocked FMA
+// kernel (batched path) and the axpy reference (per-sample path).
+func closeEnough(a, b float32) bool {
+	d := a - b
+	return d >= -1e-5 && d <= 1e-5
+}
+
+// TestInferScratchMatchesForward pins the scratch inference path to the
+// plain Forward path at several batch sizes. The batched conv path may take
+// the FMA kernel where the per-sample path stays on the axpy fallback, so
+// agreement is to within the kernel oracle tolerance rather than
+// bit-exact.
+func TestInferScratchMatchesForward(t *testing.T) {
+	net := scratchTestNet(rng.New(42))
+	for _, n := range []int{1, 3, 16} {
+		x := tensor.New(n, 144)
+		x.RandUniform(rng.New(uint64(n)), -1, 1)
+		want := net.Forward(x, false)
+		s := tensor.GetScratch()
+		got := net.InferScratch(x, s)
+		if !got.SameShape(want) {
+			t.Fatalf("batch %d: scratch shape %v, want %v", n, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if !closeEnough(got.Data[i], want.Data[i]) {
+				t.Fatalf("batch %d: scratch output[%d] = %v, want %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+		tensor.PutScratch(s)
+	}
+}
+
+// TestInferScratchRepeatedRounds re-uses one arena across many rounds with
+// varying batch sizes, the engine worker's usage pattern.
+func TestInferScratchRepeatedRounds(t *testing.T) {
+	net := scratchTestNet(rng.New(7))
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	for round, n := range []int{4, 1, 16, 2, 16, 8} {
+		x := tensor.New(n, 144)
+		x.RandUniform(rng.New(uint64(round+1)), -1, 1)
+		want := net.Forward(x, false)
+		s.Reset()
+		got := net.InferScratch(x, s)
+		for i := range want.Data {
+			if !closeEnough(got.Data[i], want.Data[i]) {
+				t.Fatalf("round %d (batch %d): output[%d] = %v, want %v", round, n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvForwardScratchBatchedIm2Col checks the batched-im2col conv fast
+// path against the per-sample Forward on ragged and aligned batch sizes.
+func TestConvForwardScratchBatchedIm2Col(t *testing.T) {
+	conv := MustConv2D("c", 3, 9, 9, 5, 3, 3, 2, 1, rng.New(3))
+	for _, n := range []int{1, 2, 7, 32} {
+		x := tensor.New(n, conv.InSize())
+		x.RandUniform(rng.New(uint64(n+100)), -1, 1)
+		want := conv.Forward(x, false)
+		s := tensor.GetScratch()
+		got := conv.ForwardScratch(x, s)
+		for i := range want.Data {
+			if !closeEnough(got.Data[i], want.Data[i]) {
+				t.Fatalf("batch %d: conv scratch output[%d] = %v, want %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+		tensor.PutScratch(s)
+	}
+}

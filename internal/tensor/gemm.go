@@ -12,15 +12,10 @@ import (
 const parallelThreshold = 64 * 64 * 64
 
 // MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
-//
-// The kernel iterates in i-p-j order so that the innermost loop streams both
-// B's row p and C's row i sequentially — an axpy formulation that the
-// compiler auto-vectorizes — and splits the rows of A across a goroutine
-// pool for large problems.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	c := New(m, n)
-	gemm(a.Data, b.Data, c.Data, m, k, n, 1, 0)
+	GEMM(a.Data, b.Data, c.Data, m, k, n, 1, 0)
 	return c
 }
 
@@ -31,7 +26,37 @@ func MatMulInto(c, a, b *Tensor, alpha, beta float32) {
 	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
 	}
-	gemm(a.Data, b.Data, c.Data, m, k, n, alpha, beta)
+	GEMM(a.Data, b.Data, c.Data, m, k, n, alpha, beta)
+}
+
+// GEMM computes C = alpha*(A×B) + beta*C over raw row-major slices: A is
+// m×k, B is k×n, C is m×n. It is the hot-path entry point used by the
+// layers in internal/nn; large problems take the cache-blocked micro-kernel
+// path (gemm_blocked.go), single-row products the unrolled gemv, and
+// everything else the axpy reference kernel. With beta == 0, C is stored
+// without being read, so uninitialized scratch output buffers are safe.
+func GEMM(a, b, c []float32, m, k, n int, alpha, beta float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: GEMM operand sizes %d/%d/%d too small for (%d×%d)·(%d×%d)",
+			len(a), len(b), len(c), m, k, k, n))
+	}
+	switch {
+	case m == 0 || n == 0:
+	case m == 1:
+		gemvRow(a, b, c, k, n, alpha, beta)
+	case useBlocked(m, k, n):
+		gemmBlocked(a, k, 1, b, n, 1, c, m, k, n, alpha, beta)
+	default:
+		gemmNaive(a, b, c, m, k, n, alpha, beta)
+	}
+}
+
+// useBlocked is the single dispatch gate for the blocked micro-kernel path:
+// an FMA kernel must exist, the problem must be large enough to amortize
+// packing, at least one full nr-wide tile column must exist, the depth must
+// cover the kernel's unrolled loads, and multi-row (m==1 is gemv's job).
+func useBlocked(m, k, n int) bool {
+	return blockedEnabled && m > 1 && m*k*n >= blockedMinFlops && n >= nr && k >= 4
 }
 
 // MatMulTransA computes C = Aᵀ × B without materializing Aᵀ.
@@ -46,6 +71,11 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	n := b.Shape[1]
 	c := New(m, n)
+	if useBlocked(m, k, n) {
+		// op(A)[i,p] = a[p*m+i]: unit row stride, column stride m.
+		gemmBlocked(a.Data, 1, m, b.Data, n, 1, c.Data, m, k, n, 1, 0)
+		return c
+	}
 	// cᵢⱼ = Σ_p a_{p,i} b_{p,j}: for each p, rank-1 update of C rows.
 	// Parallelize over row blocks of C (i), accumulating locally.
 	parallelRows(m, m*n*k, func(i0, i1 int) {
@@ -79,6 +109,11 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	n := b.Shape[0]
 	c := New(m, n)
+	if useBlocked(m, k, n) {
+		// op(B)[p,j] = b[j*k+p]: row stride 1, column stride k.
+		gemmBlocked(a.Data, k, 1, b.Data, 1, k, c.Data, m, k, n, 1, 0)
+		return c
+	}
 	parallelRows(m, m*n*k, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			arow := a.Data[i*k : (i+1)*k]
@@ -108,33 +143,105 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// gemm computes C = alpha*A*B + beta*C over raw row-major slices.
-func gemm(a, b, c []float32, m, k, n int, alpha, beta float32) {
+// GEMMNaive runs the retained axpy reference kernel regardless of what the
+// dispatcher would pick — the baseline that perf tooling and oracle tests
+// measure the blocked kernel against.
+func GEMMNaive(a, b, c []float32, m, k, n int, alpha, beta float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: GEMMNaive operand sizes %d/%d/%d too small for (%d×%d)·(%d×%d)",
+			len(a), len(b), len(c), m, k, k, n))
+	}
+	gemmNaive(a, b, c, m, k, n, alpha, beta)
+}
+
+// gemmNaive computes C = alpha*A*B + beta*C over raw row-major slices with
+// the i-p-j axpy formulation: the innermost loop streams both B's row p and
+// C's row i sequentially. It is the small-problem fallback and the oracle
+// the blocked kernel is tested against.
+func gemmNaive(a, b, c []float32, m, k, n int, alpha, beta float32) {
+	if !ShouldParallel(m, n*k) {
+		gemmNaiveRange(a, b, c, k, n, alpha, beta, 0, m)
+		return
+	}
 	parallelRows(m, m*n*k, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			crow := c[i*n : (i+1)*n]
-			if beta == 0 {
-				for j := range crow {
-					crow[j] = 0
-				}
-			} else if beta != 1 {
-				for j := range crow {
-					crow[j] *= beta
-				}
+		gemmNaiveRange(a, b, c, k, n, alpha, beta, i0, i1)
+	})
+}
+
+func gemmNaiveRange(a, b, c []float32, k, n int, alpha, beta float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		crow := c[i*n : (i+1)*n]
+		if beta == 0 {
+			for j := range crow {
+				crow[j] = 0
 			}
-			arow := a[i*k : (i+1)*k]
-			for p, av := range arow {
-				av *= alpha
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+		} else if beta != 1 {
+			for j := range crow {
+				crow[j] *= beta
 			}
 		}
-	})
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			av *= alpha
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemvRow computes the single-row product c = alpha*(a·B) + beta*c for a
+// length-k vector a and k×n matrix B. Zero coefficients are skipped exactly
+// like the axpy reference — single-image inputs and post-relu activations
+// are sparse, and skipping a zero skips a whole row of B — while the
+// surviving nonzero coefficients are compacted into groups of four and
+// fused into one pass over c, so each c element costs one load/store per
+// eight flops instead of per two. The m==1 shape (ClassifyDirect on one
+// image) is too small to amortize micro-kernel packing, but not too small
+// for instruction-level parallelism.
+func gemvRow(a, b, c []float32, k, n int, alpha, beta float32) {
+	c = c[:n]
+	if beta == 0 {
+		for j := range c {
+			c[j] = 0
+		}
+	} else if beta != 1 {
+		for j := range c {
+			c[j] *= beta
+		}
+	}
+	var coef [4]float32
+	var brow [4][]float32
+	cnt := 0
+	for p := 0; p < k; p++ {
+		av := alpha * a[p]
+		if av == 0 {
+			continue
+		}
+		coef[cnt] = av
+		brow[cnt] = b[p*n : p*n+n]
+		cnt++
+		if cnt < 4 {
+			continue
+		}
+		cnt = 0
+		a0, a1, a2, a3 := coef[0], coef[1], coef[2], coef[3]
+		b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
+		for j := range c {
+			c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for g := 0; g < cnt; g++ {
+		av := coef[g]
+		row := brow[g]
+		for j, bv := range row {
+			c[j] += av * bv
+		}
+	}
 }
 
 // parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
@@ -177,7 +284,17 @@ func ParallelFor(n, costPerItem int, fn func(i0, i1 int)) {
 	parallelRows(n, n*costPerItem, fn)
 }
 
-// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k).
+// ShouldParallel reports whether ParallelFor would actually fan [0, items)
+// out to multiple goroutines. Allocation-sensitive callers use it to take a
+// direct serial call — constructing the closure ParallelFor needs forces a
+// heap allocation even when the work ends up running inline.
+func ShouldParallel(items, costPerItem int) bool {
+	return items >= 2 && items*costPerItem >= parallelThreshold && runtime.GOMAXPROCS(0) >= 2
+}
+
+// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k). Rows are
+// processed with four independent accumulator chains (the loads of x and a
+// row pipeline across them) and split over goroutines for large matrices.
 func MatVec(a, x *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(x.Shape) != 1 {
 		panic("tensor: MatVec wants matrix × vector")
@@ -187,43 +304,112 @@ func MatVec(a, x *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec dims %d vs %d", k, x.Shape[0]))
 	}
 	y := New(m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
-		var s float32
-		for p, av := range row {
-			s += av * x.Data[p]
-		}
-		y.Data[i] = s
-	}
+	MatVecInto(y.Data, a.Data, x.Data, m, k)
 	return y
 }
 
-// AddRowVector adds vector v (length n) to every row of the m×n matrix t.
+// MatVecInto computes y = A × x over raw slices without allocating.
+func MatVecInto(y, a, x []float32, m, k int) {
+	x = x[:k]
+	if !ShouldParallel(m, k) {
+		matVecRange(y, a, x, k, 0, m)
+		return
+	}
+	parallelRows(m, m*k, func(i0, i1 int) {
+		matVecRange(y, a, x, k, i0, i1)
+	})
+}
+
+func matVecRange(y, a, x []float32, k, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		row := a[i*k : (i+1)*k]
+		var s0, s1, s2, s3 float32
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			s0 += row[p] * x[p]
+			s1 += row[p+1] * x[p+1]
+			s2 += row[p+2] * x[p+2]
+			s3 += row[p+3] * x[p+3]
+		}
+		for ; p < k; p++ {
+			s0 += row[p] * x[p]
+		}
+		y[i] = s0 + s1 + s2 + s3
+	}
+}
+
+// AddRowVector adds vector v (length n) to every row of the m×n matrix t,
+// fanning rows out to goroutines for large matrices.
 func (t *Tensor) AddRowVector(v *Tensor) {
 	if len(t.Shape) != 2 || len(v.Shape) != 1 || t.Shape[1] != v.Shape[0] {
 		panic(fmt.Sprintf("tensor: AddRowVector shapes %v + %v", t.Shape, v.Shape))
 	}
 	n := t.Shape[1]
-	for i := 0; i < t.Shape[0]; i++ {
-		row := t.Data[i*n : (i+1)*n]
-		for j, vv := range v.Data {
-			row[j] += vv
+	vd := v.Data[:n]
+	if !ShouldParallel(t.Shape[0], n) {
+		addRowVectorRange(t.Data, vd, n, 0, t.Shape[0])
+		return
+	}
+	parallelRows(t.Shape[0], t.Shape[0]*n, func(i0, i1 int) {
+		addRowVectorRange(t.Data, vd, n, i0, i1)
+	})
+}
+
+func addRowVectorRange(data, vd []float32, n, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		row := data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			row[j] += vd[j]
+			row[j+1] += vd[j+1]
+			row[j+2] += vd[j+2]
+			row[j+3] += vd[j+3]
+		}
+		for ; j < n; j++ {
+			row[j] += vd[j]
 		}
 	}
 }
 
 // SumRows returns the column-wise sum of a 2-D tensor as a length-n vector.
+// Work is split across column blocks (each worker owns a disjoint slice of
+// the output) and the row loop is unrolled four ways so the accumulator
+// loads amortize over four streams.
 func (t *Tensor) SumRows() *Tensor {
 	if len(t.Shape) != 2 {
 		panic("tensor: SumRows on non-matrix")
 	}
-	n := t.Shape[1]
+	m, n := t.Shape[0], t.Shape[1]
 	out := New(n)
-	for i := 0; i < t.Shape[0]; i++ {
-		row := t.Data[i*n : (i+1)*n]
-		for j, v := range row {
-			out.Data[j] += v
+	if n == 0 {
+		return out
+	}
+	if !ShouldParallel(n, m) {
+		sumRowsRange(out.Data, t.Data, m, n, 0, n)
+		return out
+	}
+	parallelRows(n, n*m, func(j0, j1 int) {
+		sumRowsRange(out.Data, t.Data, m, n, j0, j1)
+	})
+	return out
+}
+
+func sumRowsRange(out, data []float32, m, n, j0, j1 int) {
+	acc := out[j0:j1]
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		r0 := data[i*n+j0 : i*n+j1]
+		r1 := data[(i+1)*n+j0 : (i+1)*n+j1]
+		r2 := data[(i+2)*n+j0 : (i+2)*n+j1]
+		r3 := data[(i+3)*n+j0 : (i+3)*n+j1]
+		for j := range acc {
+			acc[j] += (r0[j] + r1[j]) + (r2[j] + r3[j])
 		}
 	}
-	return out
+	for ; i < m; i++ {
+		row := data[i*n+j0 : i*n+j1]
+		for j := range row {
+			acc[j] += row[j]
+		}
+	}
 }

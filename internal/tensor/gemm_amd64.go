@@ -1,0 +1,58 @@
+//go:build amd64
+
+package tensor
+
+// Assembly bindings and CPU-feature detection for the AVX2/FMA micro-kernel
+// (gemm_amd64.s). The kernel needs AVX2 (8-wide float32 YMM ops), FMA, and
+// an OS that context-switches the YMM state; all three are checked at init
+// and the package silently stays on the portable kernel when any is absent.
+
+//go:noescape
+func fmaKernel8x8(kc int, ap, bp, acc *float32)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+func init() {
+	if hasAVX2FMA() {
+		microKernel = fmaKernel
+		blockedEnabled = true
+	}
+}
+
+// fmaKernel adapts the assembly micro-kernel to the Go calling shape shared
+// with kernel8x8Generic.
+func fmaKernel(kc int, ap, bp []float32, acc *[mr * nr]float32) {
+	if kc == 0 {
+		*acc = [mr * nr]float32{}
+		return
+	}
+	fmaKernel8x8(kc, &ap[0], &bp[0], &acc[0])
+}
+
+// hasAVX2FMA reports whether the CPU and OS support the assembly kernel:
+// CPUID leaf 1 must advertise FMA, AVX, and OSXSAVE; XCR0 must show the OS
+// saving XMM+YMM state; and CPUID leaf 7 must advertise AVX2.
+func hasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM (bit 1) and YMM (bit 2) state enabled
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,82 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fmaKernel8x8(kc int, ap, bp, acc *float32)
+//
+// The 8×8 micro-kernel of the blocked GEMM: acc[8][8] = Asliver × Bsliver
+// over packed panels (ap: kc groups of 8 A values, bp: kc groups of 8 B
+// values). Eight YMM registers hold the full accumulator tile; each k step
+// is one 8-wide B load, eight scalar broadcasts from A, and eight fused
+// multiply-adds — 128 flops per 9 loads.
+TEXT ·fmaKernel8x8(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPS      (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VBROADCASTSS 4(SI), Y10
+	VFMADD231PS  Y8, Y9, Y0
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(SI), Y11
+	VBROADCASTSS 12(SI), Y12
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(SI), Y9
+	VBROADCASTSS 20(SI), Y10
+	VFMADD231PS  Y8, Y9, Y4
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(SI), Y11
+	VBROADCASTSS 28(SI), Y12
+	VFMADD231PS  Y8, Y11, Y6
+	VFMADD231PS  Y8, Y12, Y7
+	ADDQ         $32, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          loop
+
+store:
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

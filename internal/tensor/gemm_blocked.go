@@ -1,0 +1,255 @@
+package tensor
+
+import "sync"
+
+// Cache-blocked GEMM in the BLIS/GotoBLAS style.
+//
+// The operand matrices are tiled into panels sized for the cache hierarchy
+// and repacked into contiguous, micro-kernel-ready buffers:
+//
+//	for jc over n by blockNC:          // B panel column block (L3)
+//	  for pc over k by blockKC:        // depth block (packed B panel in L2)
+//	    pack B[pc:pc+kc, jc:jc+nc] into nr-column slivers
+//	    for ic over m by blockMC:      // A panel row block (packed slivers in L1/L2)
+//	      pack A[ic:ic+mc, pc:pc+kc] into mr-row slivers
+//	      for jr, ir over the panel:   // register-tiled micro-kernel
+//	        acc[mr×nr] = Asliver × Bsliver
+//	        C[ic+ir, jc+jr] = beta*C + alpha*acc
+//
+// The mr×nr micro-kernel keeps the full accumulator tile in registers and
+// streams both packed slivers sequentially, so the inner loop performs
+// 2·mr·nr flops per mr+nr loads. On amd64 with AVX2+FMA the kernel is the
+// hand-written assembly in gemm_amd64.s (8 YMM accumulators, one fused
+// multiply-add per C row per k step); elsewhere it is kernel8x8Generic.
+//
+// Packing uses zero padding up to the mr/nr multiple, so the micro-kernel
+// never sees a partial tile; the write-back handles ragged C edges.
+const (
+	mr = 8 // micro-kernel rows (accumulator tile height)
+	nr = 8 // micro-kernel cols (one YMM vector of float32)
+
+	blockKC = 256  // depth block: an mr×kc A sliver (8 KB) stays L1-resident
+	blockMC = 128  // row block: the packed A panel (mc×kc ≈ 128 KB) fits L2
+	blockNC = 2048 // col block: the packed B panel (kc×nc ≈ 2 MB) fits L3
+
+	// blockedMinFlops gates the blocked path: below it the packing traffic
+	// costs more than the micro-kernel saves and the axpy fallback wins.
+	blockedMinFlops = 32 * 32 * 32
+)
+
+// blockedEnabled reports whether the blocked path beats the axpy fallback on
+// this machine. It is true only when a fused-multiply-add micro-kernel is
+// available (amd64 with AVX2+FMA): the generic micro-kernel has the same
+// scalar ALU ceiling as the axpy loop, so packing would be pure overhead.
+// Tests flip it to pin down both dispatch paths.
+var blockedEnabled = false
+
+// BlockedKernelEnabled reports whether GEMM dispatch is using the blocked
+// FMA micro-kernel on this machine (amd64 with AVX2+FMA detected at init).
+func BlockedKernelEnabled() bool { return blockedEnabled }
+
+// microKernel computes acc = Asliver × Bsliver over packed panels: ap holds
+// kc groups of mr A values, bp holds kc groups of nr B values, and acc is
+// the row-major mr×nr product tile (overwritten, not accumulated).
+var microKernel = kernel8x8Generic
+
+// kernel8x8Generic is the portable micro-kernel, used when no assembly
+// kernel exists for the platform and as the oracle the assembly kernel is
+// tested against.
+func kernel8x8Generic(kc int, ap, bp []float32, acc *[mr * nr]float32) {
+	*acc = [mr * nr]float32{}
+	for p := 0; p < kc; p++ {
+		bv := bp[p*nr : p*nr+nr : p*nr+nr]
+		av := ap[p*mr : p*mr+mr : p*mr+mr]
+		for i, a := range av {
+			row := acc[i*nr : i*nr+nr]
+			for j := range row {
+				row[j] += a * bv[j]
+			}
+		}
+	}
+}
+
+// gemmBuf is the reusable packing scratch for one goroutine's share of a
+// blocked GEMM. Buffers grow to the block maxima on first use and are then
+// recycled through gemmBufPool, so steady-state GEMM calls allocate nothing.
+type gemmBuf struct {
+	ap  []float32
+	bp  []float32
+	acc [mr * nr]float32
+}
+
+var gemmBufPool = sync.Pool{New: func() any { return new(gemmBuf) }}
+
+func (g *gemmBuf) ensureA(n int) []float32 {
+	if cap(g.ap) < n {
+		g.ap = make([]float32, n)
+	}
+	g.ap = g.ap[:n]
+	return g.ap
+}
+
+func (g *gemmBuf) ensureB(n int) []float32 {
+	if cap(g.bp) < n {
+		g.bp = make([]float32, n)
+	}
+	g.bp = g.bp[:n]
+	return g.bp
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+// gemmBlocked computes C = alpha·op(A)·op(B) + beta·C for row-major C
+// (m×n). The operands are addressed through explicit strides — element
+// op(A)[i,p] lives at a[i*ars+p*acs] and op(B)[p,j] at b[p*brs+j*bcs] — so
+// the same driver serves the plain, transposed-A, and transposed-B products
+// without materializing a transpose.
+func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, m, k, n int, alpha, beta float32) {
+	db := gemmBufPool.Get().(*gemmBuf)
+	defer gemmBufPool.Put(db)
+	for jcLoop := 0; jcLoop < n; jcLoop += blockNC {
+		// Per-iteration copies: the parallel branch's closure must not
+		// capture the loop induction variables by reference, which would
+		// heap-box them even on the serial path.
+		jc := jcLoop
+		nc := min(blockNC, n-jc)
+		bp := db.ensureB(blockKC * roundUp(nc, nr))
+		for pcLoop := 0; pcLoop < k; pcLoop += blockKC {
+			pc := pcLoop
+			kc := min(blockKC, k-pc)
+			betaEff := float32(1)
+			if pc == 0 {
+				betaEff = beta
+			}
+			packB(b, brs, bcs, pc, jc, kc, nc, bp)
+			mBlocks := (m + blockMC - 1) / blockMC
+			if !ShouldParallel(mBlocks, 2*m*kc*nc/mBlocks) {
+				// Serial path: no closure construction, no allocation.
+				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, db, 0, mBlocks)
+				continue
+			}
+			parallelRows(mBlocks, 2*m*kc*nc/mBlocks, func(b0, b1 int) {
+				wb := gemmBufPool.Get().(*gemmBuf)
+				defer gemmBufPool.Put(wb)
+				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, wb, b0, b1)
+			})
+		}
+	}
+}
+
+// gemmPanelRange processes A row blocks [b0, b1) of one (jc, pc) panel:
+// pack each A block into wb.ap and sweep the micro-kernel over the tile
+// grid. bp must hold the packed B panel for (jc, pc). Distinct block ranges
+// touch disjoint C rows, so ranges may run concurrently.
+func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, wb *gemmBuf, b0, b1 int) {
+	for ib := b0; ib < b1; ib++ {
+		ic := ib * blockMC
+		mc := min(blockMC, m-ic)
+		ap := wb.ensureA(roundUp(mc, mr) * kc)
+		packA(a, ars, acs, ic, pc, mc, kc, ap)
+		for jr := 0; jr < nc; jr += nr {
+			bs := bp[(jr/nr)*kc*nr:][:kc*nr]
+			for ir := 0; ir < mc; ir += mr {
+				as := ap[(ir/mr)*kc*mr:][:kc*mr]
+				microKernel(kc, as, bs, &wb.acc)
+				writeTile(c, n, ic+ir, jc+jr, min(mr, mc-ir), min(nr, nc-jr), &wb.acc, alpha, betaEff)
+			}
+		}
+	}
+}
+
+// packA copies the mc×kc block of op(A) at (ic, pc) into mr-row slivers:
+// sliver s holds, for each depth p, the mr consecutive values
+// op(A)[ic+s*mr .. ic+s*mr+mr, pc+p], zero-padded past the last row.
+func packA(a []float32, ars, acs, ic, pc, mc, kc int, dst []float32) {
+	di := 0
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
+		sliver := dst[di : di+kc*mr]
+		if acs == 1 {
+			// Row-major A: read each source row sequentially, scatter into
+			// the sliver's strided lanes.
+			if rows < mr {
+				for i := range sliver {
+					sliver[i] = 0
+				}
+			}
+			for ii := 0; ii < rows; ii++ {
+				row := a[(ic+ir+ii)*ars+pc:][:kc]
+				for p, v := range row {
+					sliver[p*mr+ii] = v
+				}
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := (ic+ir)*ars + (pc+p)*acs
+				grp := sliver[p*mr : p*mr+mr]
+				for ii := 0; ii < rows; ii++ {
+					grp[ii] = a[src+ii*ars]
+				}
+				for ii := rows; ii < mr; ii++ {
+					grp[ii] = 0
+				}
+			}
+		}
+		di += kc * mr
+	}
+}
+
+// packB copies the kc×nc block of op(B) at (pc, jc) into nr-column slivers:
+// sliver t holds, for each depth p, the nr consecutive values
+// op(B)[pc+p, jc+t*nr .. jc+t*nr+nr], zero-padded past the last column.
+func packB(b []float32, brs, bcs, pc, jc, kc, nc int, dst []float32) {
+	di := 0
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
+		sliver := dst[di : di+kc*nr]
+		if bcs == 1 && cols == nr {
+			for p := 0; p < kc; p++ {
+				copy(sliver[p*nr:p*nr+nr], b[(pc+p)*brs+jc+jr:])
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := (pc+p)*brs + (jc+jr)*bcs
+				grp := sliver[p*nr : p*nr+nr]
+				for jj := 0; jj < cols; jj++ {
+					grp[jj] = b[src+jj*bcs]
+				}
+				for jj := cols; jj < nr; jj++ {
+					grp[jj] = 0
+				}
+			}
+		}
+		di += kc * nr
+	}
+}
+
+// writeTile folds one micro-kernel product tile into C:
+// C[i0:i0+mEff, j0:j0+nEff] = beta*C + alpha*acc. beta==0 stores without
+// reading C, so it is safe on uninitialized (scratch) output buffers.
+func writeTile(c []float32, ldc, i0, j0, mEff, nEff int, acc *[mr * nr]float32, alpha, beta float32) {
+	for i := 0; i < mEff; i++ {
+		crow := c[(i0+i)*ldc+j0:][:nEff]
+		arow := acc[i*nr : i*nr+nEff]
+		switch {
+		case beta == 0 && alpha == 1:
+			copy(crow, arow)
+		case beta == 1 && alpha == 1:
+			for j, v := range arow {
+				crow[j] += v
+			}
+		case beta == 0:
+			for j, v := range arow {
+				crow[j] = alpha * v
+			}
+		case beta == 1:
+			for j, v := range arow {
+				crow[j] += alpha * v
+			}
+		default:
+			for j, v := range arow {
+				crow[j] = beta*crow[j] + alpha*v
+			}
+		}
+	}
+}

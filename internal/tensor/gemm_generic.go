@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// Platforms without an assembly micro-kernel keep the package defaults:
+// microKernel = kernel8x8Generic and blockedEnabled = false, so every GEMM
+// goes through the axpy fallback, which matches the generic kernel's scalar
+// throughput without paying the packing traffic.

@@ -47,18 +47,35 @@ func (d ConvDims) ColCols() int { return d.OutH * d.OutW }
 // (c, oy*Stride+ky-Pad, ox*Stride+kx-Pad), or 0 when that falls in padding.
 func Im2Col(img []float32, d ConvDims, col []float32) {
 	rows, cols := d.ColRows(), d.ColCols()
+	if len(col) != rows*cols {
+		panic(fmt.Sprintf("tensor: Im2Col col len %d, want %d", len(col), rows*cols))
+	}
+	Im2ColInto(img, d, col, cols, 0)
+}
+
+// Im2ColInto writes one image's im2col expansion into a wider column
+// matrix whose rows are rowStride long, starting at column colOff. Batched
+// convolution lays N samples side by side — sample i at colOff =
+// i*ColCols() with rowStride = N*ColCols() — producing a single
+// (InC*KH*KW) × (N*OutH*OutW) matrix that feeds one large GEMM instead of
+// N small ones.
+func Im2ColInto(img []float32, d ConvDims, col []float32, rowStride, colOff int) {
+	cols := d.ColCols()
 	if len(img) != d.InC*d.InH*d.InW {
 		panic(fmt.Sprintf("tensor: Im2Col image len %d, want %d", len(img), d.InC*d.InH*d.InW))
 	}
-	if len(col) != rows*cols {
-		panic(fmt.Sprintf("tensor: Im2Col col len %d, want %d", len(col), rows*cols))
+	if colOff < 0 || colOff+cols > rowStride {
+		panic(fmt.Sprintf("tensor: Im2ColInto column window [%d,%d) outside row stride %d", colOff, colOff+cols, rowStride))
+	}
+	if need := (d.ColRows()-1)*rowStride + colOff + cols; len(col) < need {
+		panic(fmt.Sprintf("tensor: Im2ColInto col len %d, want ≥ %d", len(col), need))
 	}
 	r := 0
 	for c := 0; c < d.InC; c++ {
 		plane := img[c*d.InH*d.InW : (c+1)*d.InH*d.InW]
 		for ky := 0; ky < d.KH; ky++ {
 			for kx := 0; kx < d.KW; kx++ {
-				dst := col[r*cols : (r+1)*cols]
+				dst := col[r*rowStride+colOff : r*rowStride+colOff+cols]
 				di := 0
 				for oy := 0; oy < d.OutH; oy++ {
 					iy := oy*d.Stride + ky - d.Pad

@@ -1,0 +1,110 @@
+package tensor
+
+import "sync"
+
+// Scratch is a bump-pointer arena for the inference hot path. Layers borrow
+// im2col, activation, and output buffers from it instead of calling make,
+// so a steady-state forward pass performs zero heap allocations once the
+// arena has grown to the pipeline's working-set size.
+//
+// Ownership rules:
+//
+//   - One Scratch serves one goroutine; it is not safe for concurrent use.
+//     Engine workers each own one for their lifetime; transient callers
+//     borrow via GetScratch/PutScratch.
+//   - Take/Tensor return UNINITIALIZED memory. Callers must fully overwrite
+//     it (GEMM with beta=0, Im2Col, copy loops all do).
+//   - Reset reclaims every outstanding buffer at once. Anything that must
+//     survive the next Reset — e.g. a result handed to another goroutine —
+//     must be copied out first.
+type Scratch struct {
+	slab []float32
+	off  int
+	// spill holds buffers allocated after the slab filled; Reset folds
+	// their total into the next slab so the arena converges after one
+	// cold pass.
+	spill     [][]float32
+	spillSize int
+	// tensors and dims arena the *Tensor headers and shape slices handed
+	// out by Tensor, so borrowing a tensor is allocation-free too. Growing
+	// either backing array leaves previously returned pointers aimed at
+	// the old array, which stays valid until Reset.
+	tensors []Tensor
+	dims    []int
+}
+
+// Take borrows n float32s of uninitialized scratch memory, valid until the
+// next Reset.
+func (s *Scratch) Take(n int) []float32 {
+	if free := len(s.slab) - s.off; n <= free {
+		b := s.slab[s.off : s.off+n : s.off+n]
+		s.off += n
+		return b
+	}
+	b := make([]float32, n)
+	s.spill = append(s.spill, b)
+	s.spillSize += n
+	return b
+}
+
+// Tensor borrows an uninitialized tensor of the given shape from the arena.
+// Unlike New, the contents are arbitrary; the caller must overwrite them.
+// The shape values are copied, so the variadic slice does not escape (the
+// panic message below must therefore not format the slice itself).
+func (s *Scratch) Tensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in scratch tensor shape")
+		}
+		n *= d
+	}
+	d0 := len(s.dims)
+	s.dims = append(s.dims, shape...)
+	if len(s.tensors) < cap(s.tensors) {
+		s.tensors = s.tensors[:len(s.tensors)+1]
+	} else {
+		s.tensors = append(s.tensors, Tensor{})
+	}
+	t := &s.tensors[len(s.tensors)-1]
+	t.Shape = s.dims[d0:len(s.dims):len(s.dims)]
+	t.Data = s.Take(n)
+	return t
+}
+
+// Reset reclaims all borrowed buffers. If the last round spilled past the
+// slab, the slab is regrown to the round's high-water mark so the next
+// round is allocation-free.
+func (s *Scratch) Reset() {
+	if s.spillSize > 0 {
+		s.slab = make([]float32, s.off+s.spillSize)
+		s.spill = nil
+		s.spillSize = 0
+	}
+	s.off = 0
+	// Drop buffer references from handed-out headers so a regrown slab's
+	// predecessor (and any spill buffers) can be collected.
+	for i := range s.tensors {
+		s.tensors[i] = Tensor{}
+	}
+	s.tensors = s.tensors[:0]
+	s.dims = s.dims[:0]
+}
+
+// HighWater returns the arena's current capacity in float32s, for tests and
+// capacity introspection.
+func (s *Scratch) HighWater() int { return len(s.slab) + s.spillSize }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a reset arena from the shared pool. Arenas keep their
+// grown slabs across uses, so a warmed pool serves repeated pipelines
+// without allocating.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch resets s and returns it to the shared pool. The caller must
+// not retain s or any buffer taken from it.
+func PutScratch(s *Scratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}

@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestScratchTakeAndReset(t *testing.T) {
+	var s Scratch
+	a := s.Take(100)
+	b := s.Take(50)
+	if len(a) != 100 || len(b) != 50 {
+		t.Fatalf("Take lengths %d/%d, want 100/50", len(a), len(b))
+	}
+	a[99] = 1
+	b[0] = 2
+	if a[99] != 1 || b[0] != 2 {
+		t.Fatal("buffers must be independently writable")
+	}
+	s.Reset()
+	if got := s.HighWater(); got < 150 {
+		t.Fatalf("high water %d after 150 floats taken", got)
+	}
+	// After reset, the same demand must be served from the grown slab.
+	c := s.Take(150)
+	if len(c) != 150 {
+		t.Fatalf("post-reset Take len %d", len(c))
+	}
+}
+
+func TestScratchTensor(t *testing.T) {
+	var s Scratch
+	x := s.Tensor(3, 4)
+	if x.Shape[0] != 3 || x.Shape[1] != 4 || len(x.Data) != 12 {
+		t.Fatalf("scratch tensor shape %v len %d", x.Shape, len(x.Data))
+	}
+	// Tensors borrowed in the same round must not alias.
+	y := s.Tensor(2, 2)
+	x.Fill(1)
+	y.Fill(2)
+	for _, v := range x.Data {
+		if v != 1 {
+			t.Fatal("scratch tensors alias each other")
+		}
+	}
+}
+
+func TestScratchZeroAllocWhenWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	// GC can empty sync.Pools mid-measurement; disable it so the assertion
+	// tests the arena, not collector timing.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var s Scratch
+	// Warm: one cold pass grows the slab and the header arenas.
+	warm := func() {
+		s.Reset()
+		_ = s.Tensor(16, 784)
+		_ = s.Take(1024)
+		_ = s.Tensor(16, 10)
+	}
+	warm()
+	warm()
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Fatalf("warm scratch round allocated %v times, want 0", n)
+	}
+}
+
+func TestScratchPoolRoundTrip(t *testing.T) {
+	s := GetScratch()
+	buf := s.Take(64)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	PutScratch(s)
+	s2 := GetScratch()
+	defer PutScratch(s2)
+	if got := s2.Take(64); len(got) != 64 {
+		t.Fatalf("pooled scratch Take len %d", len(got))
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromSlice([]float32{1, 3, 2, 9, 0, -1, -5, -2, -3}, 3, 3)
+	dst := make([]int, 3)
+	m.ArgMaxRows(dst)
+	want := []int{1, 0, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("ArgMaxRows = %v, want %v", dst, want)
+		}
+	}
+}

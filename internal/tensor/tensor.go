@@ -296,6 +296,32 @@ func (t *Tensor) ArgMax() int {
 	return arg
 }
 
+// ArgMaxRows writes the flat argmax of each row of a 2-D tensor into dst,
+// which must have length Shape[0]. It is the allocation-free batch variant
+// of Row(i).ArgMax().
+func (t *Tensor) ArgMaxRows(dst []int) {
+	if len(t.Shape) != 2 {
+		panic("tensor: ArgMaxRows on non-matrix")
+	}
+	n, w := t.Shape[0], t.Shape[1]
+	if len(dst) != n {
+		panic(fmt.Sprintf("tensor: ArgMaxRows dst len %d, want %d", len(dst), n))
+	}
+	if w == 0 {
+		panic("tensor: ArgMaxRows of empty rows")
+	}
+	for i := 0; i < n; i++ {
+		row := t.Data[i*w : (i+1)*w]
+		best, arg := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, arg = v, j+1
+			}
+		}
+		dst[i] = arg
+	}
+}
+
 // Row returns row i of a 2-D tensor as a view (shared storage).
 func (t *Tensor) Row(i int) *Tensor {
 	if len(t.Shape) != 2 {
