@@ -359,11 +359,13 @@ func BenchmarkHostCBNetPipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkHostCBNetPipelineScratch is the engine worker's actual hot loop:
-// batched im2col + blocked GEMM with every buffer borrowed from a warm
-// scratch arena. -benchmem must report ~0 allocs/op; the gap to
-// BenchmarkHostCBNetPipeline is the cost of the allocating wrapper.
-func BenchmarkHostCBNetPipelineScratch(b *testing.B) {
+// BenchmarkInferScratch is the dynamic-dispatch compatibility path: the
+// 16-image pipeline forward over Sequential.InferScratch with every buffer
+// borrowed from a warm arena — per-call interface dispatch, per-layer
+// bias/activation sweeps. The gap to BenchmarkPlanExecute is what plan
+// compilation (fused GEMM epilogues, preplanned buffers, flat step loop)
+// buys on identical arithmetic.
+func BenchmarkInferScratch(b *testing.B) {
 	br := models.NewBranchyLeNet(rng.New(4), 0.05)
 	pipe := &core.Pipeline{
 		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
@@ -377,14 +379,38 @@ func BenchmarkHostCBNetPipelineScratch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Reset()
-		pipe.InferInto(dst, x, s)
+		converted := pipe.ConvertScratch(x, s)
+		pipe.LogitsScratch(converted, s).ArgMaxRows(dst)
 	}
 	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
 }
 
-// BenchmarkHostClassifyDirectScratch is the zero-allocation easy-route
-// path at the single-image latency point.
-func BenchmarkHostClassifyDirectScratch(b *testing.B) {
+// BenchmarkPlanExecute is the engine worker's actual hot loop: the compiled
+// AE and classifier plans executed back to back. -benchmem must report
+// 0 allocs/op.
+func BenchmarkPlanExecute(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	ps, err := pipe.Plans(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := hostBatch(16)
+	dst := make([]int, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.InferInto(dst, x)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// BenchmarkHostClassifyDirectPlan is the zero-allocation easy-route path at
+// the single-image latency point, on the compiled classifier plan.
+func BenchmarkHostClassifyDirectPlan(b *testing.B) {
 	br := models.NewBranchyLeNet(rng.New(4), 0.05)
 	pipe := &core.Pipeline{
 		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
@@ -392,13 +418,10 @@ func BenchmarkHostClassifyDirectScratch(b *testing.B) {
 	}
 	x := hostBatch(1)
 	dst := make([]int, 1)
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Reset()
-		pipe.ClassifyDirectInto(dst, x, s)
+		pipe.ClassifyDirectInto(dst, x)
 	}
 }
 

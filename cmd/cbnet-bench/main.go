@@ -8,9 +8,15 @@
 //	cbnet-bench -exp perf                   # perf snapshot → BENCH_<date>.json
 //	cbnet-bench -exp perf -json -           # perf snapshot to stdout
 //	cbnet-bench -exp perf -filter gemm      # only the GEMM benchmarks
+//	cbnet-bench -exp perf -diff BENCH_x.json  # fail on >20% regression vs snapshot
 //
 // Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, all
 // ("all" covers the paper experiments; perf runs only when asked).
+//
+// With -diff, the fresh capture is compared benchmark-by-benchmark against
+// the named baseline snapshot; any benchmark slower than the baseline by
+// more than -tolerance (or allocating more) exits nonzero, which is the CI
+// perf gate.
 package main
 
 import (
@@ -37,11 +43,28 @@ func main() {
 		verb   = flag.Bool("v", false, "verbose training progress")
 		jsonTo = flag.String("json", "", "perf snapshot destination: a path, '-' for stdout, or empty for BENCH_<date>.json")
 		filter = flag.String("filter", "", "comma-separated substrings selecting perf benchmarks (empty = all)")
+		diffTo = flag.String("diff", "", "baseline BENCH_<date>.json to compare the fresh perf capture against")
+		tol    = flag.Float64("tolerance", 0.2, "fractional ns/op slowdown tolerated by -diff before failing")
 	)
 	flag.Parse()
 
 	if *exp == "perf" {
-		if err := runPerf(*jsonTo, *filter); err != nil {
+		// Load the baseline before capturing: -json may legitimately
+		// overwrite the very snapshot being diffed against.
+		var base *bench.Snapshot
+		if *diffTo != "" {
+			b, err := bench.ReadSnapshot(*diffTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+				os.Exit(1)
+			}
+			base = &b
+		}
+		snap, err := runPerf(*jsonTo, *filter)
+		if err == nil && base != nil {
+			err = diffPerf(snap, *base, *diffTo, *tol)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
 			os.Exit(1)
 		}
@@ -63,8 +86,9 @@ func main() {
 }
 
 // runPerf captures a perf snapshot and writes it as JSON, printing the
-// human-readable summary to stderr so piping the JSON stays clean.
-func runPerf(jsonTo, filter string) error {
+// human-readable summary to stderr so piping the JSON stays clean. The
+// snapshot is returned for -diff.
+func runPerf(jsonTo, filter string) (bench.Snapshot, error) {
 	var filters []string
 	for _, f := range strings.Split(filter, ",") {
 		if f = strings.TrimSpace(f); f != "" {
@@ -75,26 +99,44 @@ func runPerf(jsonTo, filter string) error {
 	snap := bench.Run(now, filters...)
 	fmt.Fprint(os.Stderr, snap.Summary())
 	if len(snap.Results) == 0 {
-		return fmt.Errorf("no perf benchmarks match filter %q (have: %s)", filter, strings.Join(bench.Names(), ", "))
+		return snap, fmt.Errorf("no perf benchmarks match filter %q (have: %s)", filter, strings.Join(bench.Names(), ", "))
 	}
 	if jsonTo == "-" {
-		return snap.WriteJSON(os.Stdout)
+		return snap, snap.WriteJSON(os.Stdout)
 	}
 	if jsonTo == "" {
 		jsonTo = "BENCH_" + now.UTC().Format("2006-01-02") + ".json"
 	}
 	f, err := os.Create(jsonTo)
 	if err != nil {
-		return err
+		return snap, err
 	}
 	if err := snap.WriteJSON(f); err != nil {
 		f.Close()
-		return err
+		return snap, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return snap, err
 	}
 	fmt.Fprintln(os.Stderr, "wrote", jsonTo)
+	return snap, nil
+}
+
+// diffPerf compares a fresh capture against the baseline snapshot and fails
+// on any benchmark that slowed beyond the tolerance (or began allocating).
+func diffPerf(cur, base bench.Snapshot, baselinePath string, tolerance float64) error {
+	deltas := bench.Compare(base, cur, tolerance)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no benchmarks in common with baseline %s", baselinePath)
+	}
+	fmt.Fprintf(os.Stderr, "perf diff vs %s (tolerance %.0f%%):\n%s", baselinePath, 100*tolerance, bench.FormatDeltas(deltas))
+	if missing := bench.MissingFromCurrent(base, cur); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: baseline benchmark(s) not in this capture (renamed/removed?): %s\n",
+			strings.Join(missing, ", "))
+	}
+	if regs := bench.Regressions(deltas); len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s", len(regs), 100*tolerance, baselinePath)
+	}
 	return nil
 }
 

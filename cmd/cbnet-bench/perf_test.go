@@ -5,13 +5,15 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cbnet/internal/bench"
 )
 
 // TestRunPerfWritesJSON drives the perf mode with a narrow filter (one
 // cheap kernel benchmark) and validates the emitted snapshot file.
 func TestRunPerfWritesJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := runPerf(out, "rowops/addrowvector"); err != nil {
+	if _, err := runPerf(out, "rowops/addrowvector"); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -34,7 +36,50 @@ func TestRunPerfWritesJSON(t *testing.T) {
 }
 
 func TestRunPerfUnknownFilter(t *testing.T) {
-	if err := runPerf(filepath.Join(t.TempDir(), "x.json"), "no-such-benchmark"); err == nil {
+	if _, err := runPerf(filepath.Join(t.TempDir(), "x.json"), "no-such-benchmark"); err == nil {
 		t.Fatal("expected error for a filter matching nothing")
+	}
+}
+
+// TestDiffPerf drives the CI perf gate end to end: a capture diffed against
+// itself passes, and diffed against an artificially faster baseline fails.
+func TestDiffPerf(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_base.json")
+	snap, err := runPerf(out, "rowops/addrowvector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bench.ReadSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffPerf(snap, base, out, 0.2); err != nil {
+		t.Fatalf("self-diff must pass: %v", err)
+	}
+	// Shrink the baseline's ns/op so the fresh capture reads as a >20%
+	// regression against it.
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range doc["results"].([]any) {
+		m := r.(map[string]any)
+		m["nsPerOp"] = m["nsPerOp"].(float64) / 10
+	}
+	shrunk, _ := json.Marshal(doc)
+	fastPath := filepath.Join(t.TempDir(), "BENCH_fast.json")
+	if err := os.WriteFile(fastPath, shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fastBase, err := bench.ReadSnapshot(fastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffPerf(snap, fastBase, fastPath, 0.2); err == nil {
+		t.Fatal("diff against a 10x faster baseline must fail")
 	}
 }

@@ -69,6 +69,7 @@ func registry() []benchDef {
 		{"rowops/sumrows/256x784", benchSumRows},
 		{"pipeline/classify-direct/batch16", benchClassifyDirect},
 		{"pipeline/infer/batch16", benchInfer},
+		{"pipeline/infer-scratch/batch16", benchInferScratch},
 		{"engine/throughput/routed", benchEngineThroughput},
 	}
 }
@@ -259,32 +260,52 @@ func perfBatch(n int) *tensor.Tensor {
 	return x
 }
 
+// benchClassifyDirect measures the serving easy route: the compiled
+// classifier plan with fused GEMM epilogues.
 func benchClassifyDirect(b *testing.B) {
 	pipe := perfPipeline()
 	x := perfBatch(16)
 	dst := make([]int, 16)
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
+	pipe.ClassifyDirectInto(dst, x) // compile plans outside the window
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Reset()
-		pipe.ClassifyDirectInto(dst, x, s)
+		pipe.ClassifyDirectInto(dst, x)
 	}
 	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
 }
 
+// benchInfer measures the full serving path (AE plan + classifier plan).
 func benchInfer(b *testing.B) {
+	pipe := perfPipeline()
+	x := perfBatch(16)
+	dst := make([]int, 16)
+	pipe.InferInto(dst, x) // compile plans outside the window
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.InferInto(dst, x)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// benchInferScratch measures the retained dynamic-dispatch compatibility
+// path (Sequential.InferScratch over a bump arena), the baseline the
+// compiled-plan rows are read against.
+func benchInferScratch(b *testing.B) {
 	pipe := perfPipeline()
 	x := perfBatch(16)
 	dst := make([]int, 16)
 	s := tensor.GetScratch()
 	defer tensor.PutScratch(s)
+	// Grow the arena to its steady-state footprint outside the window.
+	pipe.LogitsScratch(pipe.ConvertScratch(x, s), s).ArgMaxRows(dst)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Reset()
-		pipe.InferInto(dst, x, s)
+		converted := pipe.ConvertScratch(x, s)
+		pipe.LogitsScratch(converted, s).ArgMaxRows(dst)
 	}
 	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Snapshot diffing: the perf-regression gate. CI runs a fresh perf capture
+// and compares it against the committed BENCH_<date>.json; any tracked
+// benchmark that slowed beyond the tolerance fails the build, turning the
+// perf trajectory from anecdote into a checked invariant.
+
+// ReadSnapshot loads a BENCH_<date>.json file.
+func ReadSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if snap.Schema != "cbnet-bench-perf/v1" {
+		return snap, fmt.Errorf("bench: %s has schema %q, want cbnet-bench-perf/v1", path, snap.Schema)
+	}
+	return snap, nil
+}
+
+// Delta is one benchmark's baseline-to-current comparison. Ratio is
+// current/baseline ns/op: above 1 is a slowdown.
+type Delta struct {
+	Name            string
+	BaseNs, CurNs   float64
+	Ratio           float64
+	Regressed       bool
+	AllocsRegressed bool // a zero-alloc baseline began allocating — structural, flagged regardless of time
+}
+
+// Compare matches benchmarks by name and reports the deltas of every
+// benchmark present in both snapshots. A benchmark regresses when its
+// ns/op ratio exceeds 1+tolerance, or when a zero-alloc baseline began
+// allocating — those promises are exact, so any growth there is
+// structural. Benchmarks whose baseline already allocates (e.g. the
+// engine-throughput row's per-submit goroutine bookkeeping) are exempt
+// from the alloc check: their counts wobble with GC and scheduling.
+func Compare(base, cur Snapshot, tolerance float64) []Delta {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var deltas []Delta
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:   r.Name,
+			BaseNs: b.NsPerOp,
+			CurNs:  r.NsPerOp,
+			Ratio:  r.NsPerOp / b.NsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+tolerance
+		d.AllocsRegressed = b.AllocsPerOp == 0 && r.AllocsPerOp > 0
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// MissingFromCurrent returns the baseline benchmark names absent from the
+// current capture. Compare silently tracks only the name intersection, so
+// a rename or deletion would otherwise shrink the perf gate with no
+// signal; the CI job surfaces this list as a warning.
+func MissingFromCurrent(base, cur Snapshot) []string {
+	curBy := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Name] = true
+	}
+	var missing []string
+	for _, r := range base.Results {
+		if !curBy[r.Name] {
+			missing = append(missing, r.Name)
+		}
+	}
+	return missing
+}
+
+// Regressions filters a comparison down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed || d.AllocsRegressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders a comparison table, marking regressions.
+func FormatDeltas(deltas []Delta) string {
+	var sb strings.Builder
+	for _, d := range deltas {
+		mark := "  "
+		switch {
+		case d.Regressed:
+			mark = "✗ "
+		case d.AllocsRegressed:
+			mark = "✗a"
+		case d.Ratio < 0.95:
+			mark = "↑ "
+		}
+		fmt.Fprintf(&sb, "%s %-42s %12.0f → %12.0f ns/op  (%.2fx)\n", mark, d.Name, d.BaseNs, d.CurNs, d.Ratio)
+	}
+	return sb.String()
+}

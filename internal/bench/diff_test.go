@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapWith(results ...Result) Snapshot {
+	return Snapshot{Schema: "cbnet-bench-perf/v1", Results: results}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := snapWith(
+		Result{Name: "a", NsPerOp: 100},
+		Result{Name: "b", NsPerOp: 100},
+		Result{Name: "c", NsPerOp: 100, AllocsPerOp: 0},
+		Result{Name: "d", NsPerOp: 100, AllocsPerOp: 3},
+		Result{Name: "base-only", NsPerOp: 5},
+	)
+	cur := snapWith(
+		Result{Name: "a", NsPerOp: 115},                 // within 20%
+		Result{Name: "b", NsPerOp: 130},                 // time regression
+		Result{Name: "c", NsPerOp: 90, AllocsPerOp: 3},  // zero-alloc promise broken
+		Result{Name: "d", NsPerOp: 100, AllocsPerOp: 5}, // already-allocating: wobble tolerated
+		Result{Name: "cur-only", NsPerOp: 5},
+	)
+	deltas := Compare(base, cur, 0.2)
+	if len(deltas) != 4 {
+		t.Fatalf("compared %d benchmarks, want 4 (name intersection): %+v", len(deltas), deltas)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 2 {
+		t.Fatalf("found %d regressions, want 2: %+v", len(regs), regs)
+	}
+	names := map[string]Delta{}
+	for _, r := range regs {
+		names[r.Name] = r
+	}
+	if d, ok := names["b"]; !ok || !d.Regressed || d.AllocsRegressed {
+		t.Errorf("benchmark b: want pure time regression, got %+v", d)
+	}
+	if d, ok := names["c"]; !ok || d.Regressed || !d.AllocsRegressed {
+		t.Errorf("benchmark c: want pure alloc regression, got %+v", d)
+	}
+	if _, ok := names["d"]; ok {
+		t.Error("benchmark d: alloc wobble on an already-allocating baseline must not regress")
+	}
+	table := FormatDeltas(deltas)
+	if !strings.Contains(table, "b") || !strings.Contains(table, "✗") {
+		t.Errorf("delta table missing regression marks:\n%s", table)
+	}
+	missing := MissingFromCurrent(base, cur)
+	if len(missing) != 1 || missing[0] != "base-only" {
+		t.Errorf("missing-from-current = %v, want [base-only]", missing)
+	}
+}
+
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	snap := snapWith(Result{Name: "x", Iterations: 2, NsPerOp: 7})
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].NsPerOp != 7 {
+		t.Fatalf("round trip mangled snapshot: %+v", back)
+	}
+	if _, err := ReadSnapshot(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644)
+	if _, err := ReadSnapshot(bad); err == nil {
+		t.Error("wrong schema: want error")
+	}
+}

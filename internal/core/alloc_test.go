@@ -10,11 +10,11 @@ import (
 	"cbnet/internal/tensor"
 )
 
-// The engine's zero-allocation promise: once a worker's scratch arena has
-// warmed to the pipeline's working-set size, steady-state classification
-// performs no heap allocations. AllocsPerRun pins GOMAXPROCS to 1, which
-// also keeps the layer kernels on their serial (closure-free) paths — the
-// same regime the alloc-sensitive single-core edge deployment runs in.
+// The serving path's zero-allocation promise: once a pipeline's compiled
+// plans have been built, steady-state classification performs no heap
+// allocations. AllocsPerRun pins GOMAXPROCS to 1, which also keeps the
+// kernels on their serial (closure-free) paths — the same regime the
+// alloc-sensitive single-core edge deployment runs in.
 
 func allocTestPipeline() *Pipeline {
 	br := models.NewBranchyLeNet(rng.New(11), 0.05)
@@ -30,7 +30,7 @@ func testBatch(n int) *tensor.Tensor {
 	return x
 }
 
-// measureSteadyState warms the arena with two full passes, then measures.
+// measureSteadyState warms the plans with two full passes, then measures.
 // GC is disabled during the measurement so sync.Pool eviction can't charge
 // unrelated allocations to the hot path.
 func measureSteadyState(f func()) float64 {
@@ -45,14 +45,11 @@ func TestClassifyDirectIntoZeroAlloc(t *testing.T) {
 		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
 	}
 	pipe := allocTestPipeline()
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
 	for _, n := range []int{1, 16} {
 		x := testBatch(n)
 		dst := make([]int, n)
 		allocs := measureSteadyState(func() {
-			s.Reset()
-			pipe.ClassifyDirectInto(dst, x, s)
+			pipe.ClassifyDirectInto(dst, x)
 		})
 		if allocs != 0 {
 			t.Errorf("ClassifyDirectInto batch %d: %v allocs per warm call, want 0", n, allocs)
@@ -65,14 +62,11 @@ func TestInferIntoZeroAlloc(t *testing.T) {
 		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
 	}
 	pipe := allocTestPipeline()
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
 	for _, n := range []int{1, 16} {
 		x := testBatch(n)
 		dst := make([]int, n)
 		allocs := measureSteadyState(func() {
-			s.Reset()
-			pipe.InferInto(dst, x, s)
+			pipe.InferInto(dst, x)
 		})
 		if allocs != 0 {
 			t.Errorf("InferInto batch %d: %v allocs per warm call, want 0", n, allocs)
@@ -80,9 +74,32 @@ func TestInferIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestPlanSetZeroAlloc pins the engine worker's actual calls: a privately
+// owned PlanSet classifying warm batches must not allocate.
+func TestPlanSetZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	pipe := allocTestPipeline()
+	ps, err := pipe.Plans(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testBatch(16)
+	dst := make([]int, 16)
+	allocs := measureSteadyState(func() { ps.InferInto(dst, x) })
+	if allocs != 0 {
+		t.Errorf("PlanSet.InferInto: %v allocs per warm call, want 0", allocs)
+	}
+	allocs = measureSteadyState(func() { ps.ClassifyDirectInto(dst, x) })
+	if allocs != 0 {
+		t.Errorf("PlanSet.ClassifyDirectInto: %v allocs per warm call, want 0", allocs)
+	}
+}
+
 // TestPooledWrappersBounded keeps the convenience wrappers honest: Infer
-// and ClassifyDirect may allocate only the prediction slice and pool
-// bookkeeping, not per-layer buffers.
+// and ClassifyDirect may allocate only the prediction slice, not per-layer
+// buffers.
 func TestPooledWrappersBounded(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; alloc-bound assertion only meaningful without -race")
@@ -90,8 +107,8 @@ func TestPooledWrappersBounded(t *testing.T) {
 	pipe := allocTestPipeline()
 	x := testBatch(16)
 	allocs := measureSteadyState(func() { _ = pipe.ClassifyDirect(x) })
-	// One []int result plus sync.Pool noise; the pre-scratch implementation
-	// allocated hundreds of times per call.
+	// One []int result; the pre-plan implementation allocated hundreds of
+	// times per call.
 	if allocs > 8 {
 		t.Errorf("ClassifyDirect: %v allocs per warm call, want ≤ 8", allocs)
 	}
@@ -101,27 +118,82 @@ func TestPooledWrappersBounded(t *testing.T) {
 	}
 }
 
-// TestInferIntoMatchesInfer guards the fast path's correctness against the
-// allocating wrapper.
+// TestInferIntoMatchesInfer guards the plan-backed fast paths against each
+// other and against the dynamic scratch compatibility path.
 func TestInferIntoMatchesInfer(t *testing.T) {
 	pipe := allocTestPipeline()
 	x := testBatch(16)
 	want := pipe.Infer(x)
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
 	dst := make([]int, 16)
-	pipe.InferInto(dst, x, s)
+	pipe.InferInto(dst, x)
 	for i := range want {
 		if dst[i] != want[i] {
 			t.Fatalf("InferInto[%d] = %d, want %d", i, dst[i], want[i])
 		}
 	}
-	s.Reset()
 	wantD := pipe.ClassifyDirect(x)
-	pipe.ClassifyDirectInto(dst, x, s)
+	pipe.ClassifyDirectInto(dst, x)
 	for i := range wantD {
 		if dst[i] != wantD[i] {
 			t.Fatalf("ClassifyDirectInto[%d] = %d, want %d", i, dst[i], wantD[i])
+		}
+	}
+
+	// The dynamic InferScratch path stays the reference: the compiled plans
+	// must agree with it prediction-for-prediction.
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	converted := pipe.ConvertScratch(x, s)
+	scratchPreds := make([]int, 16)
+	pipe.LogitsScratch(converted, s).ArgMaxRows(scratchPreds)
+	for i := range want {
+		if want[i] != scratchPreds[i] {
+			t.Fatalf("plan pred[%d] = %d, scratch path = %d", i, want[i], scratchPreds[i])
+		}
+	}
+}
+
+// TestPipelinePlanCacheInvalidation: replacing the pipeline's exported
+// networks must invalidate the cached plan set, not keep serving the old
+// weights.
+func TestPipelinePlanCacheInvalidation(t *testing.T) {
+	pipe := allocTestPipeline()
+	x := testBatch(8)
+	_ = pipe.Infer(x) // compile + cache plans for the original networks
+
+	br2 := models.NewBranchyLeNet(rng.New(99), 0.05)
+	pipe.Classifier = models.ExtractLightweight(br2)
+	got := pipe.ClassifyDirect(x)
+
+	// Reference: the dynamic path always reads the current field.
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	want := make([]int, 8)
+	pipe.LogitsScratch(x, s).ArgMaxRows(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pred[%d] = %d after classifier swap, want %d (stale plan cache?)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelinePlanGrowth re-compiles transparently when a batch exceeds the
+// private plan set's capacity.
+func TestPipelinePlanGrowth(t *testing.T) {
+	pipe := allocTestPipeline()
+	small := testBatch(4)
+	preds := pipe.Infer(small)
+	if len(preds) != 4 {
+		t.Fatalf("got %d preds, want 4", len(preds))
+	}
+	big := testBatch(64) // beyond the lazily compiled minimum capacity of 16
+	predsBig := pipe.Infer(big)
+	if len(predsBig) != 64 {
+		t.Fatalf("got %d preds, want 64", len(predsBig))
+	}
+	for i := 0; i < 4; i++ {
+		if predsBig[i] != preds[i] {
+			t.Fatalf("pred[%d] changed after plan growth: %d vs %d", i, predsBig[i], preds[i])
 		}
 	}
 }

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
@@ -25,9 +26,141 @@ import (
 // lightweight classifier. "The inference latency of CBNet is the sum of the
 // execution time spent in the autoencoder and the lightweight DNN
 // classifier" (§I).
+//
+// Serving runs on compiled execution plans (nn.Compile): the pipeline keeps
+// a private, mutex-guarded PlanSet for its own methods and hands fresh sets
+// to concurrent callers via Plans (engine workers own one each). When a
+// network contains layers the plan compiler does not support, the pipeline
+// transparently falls back to the dynamic InferScratch path.
 type Pipeline struct {
 	AE         *models.ConvertingAE
 	Classifier *nn.Sequential
+
+	// mu guards the lazily compiled plan set (and the fallback arena) used
+	// by the pipeline's own inference methods.
+	mu            sync.Mutex
+	plans         *PlanSet
+	aeErr, clsErr bool // sticky per-network compile failures
+	// plansAE/plansCls record which networks the cached set was compiled
+	// from: replacing the exported AE/Classifier fields invalidates the
+	// cache (and the sticky failures) on the next call. In-place weight
+	// updates need no invalidation — plans share the parameter tensors.
+	plansAE  *models.ConvertingAE
+	plansCls *nn.Sequential
+	scratch  *tensor.Scratch // dynamic-shape fallback, lazily allocated
+}
+
+// PlanSet bundles the compiled AE and classifier plans of one pipeline at a
+// fixed batch capacity. Like a scratch arena, a PlanSet owns its buffers
+// and serves one goroutine; compile one per worker via Pipeline.Plans (or
+// ClassifierPlans for the AE-free easy route). The plans share the
+// pipeline's parameter tensors, so they always serve the current weights.
+type PlanSet struct {
+	ae  *nn.Plan
+	cls *nn.Plan
+	cap int
+}
+
+// Plans compiles a fresh full plan set (AE + classifier) for batches of up
+// to batchCap images.
+func (p *Pipeline) Plans(batchCap int) (*PlanSet, error) {
+	ae, err := p.AE.CompilePlan(batchCap)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := nn.Compile(p.Classifier, batchCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier plan: %w", err)
+	}
+	return &PlanSet{ae: ae, cls: cls, cap: batchCap}, nil
+}
+
+// ClassifierPlans compiles a classifier-only plan set — the easy route
+// never runs the autoencoder, so its workers skip the AE plan's buffer
+// entirely. Convert and InferInto panic on such a set.
+func (p *Pipeline) ClassifierPlans(batchCap int) (*PlanSet, error) {
+	cls, err := nn.Compile(p.Classifier, batchCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier plan: %w", err)
+	}
+	return &PlanSet{cls: cls, cap: batchCap}, nil
+}
+
+// BatchCap returns the largest batch the set's plans accept.
+func (ps *PlanSet) BatchCap() int { return ps.cap }
+
+// Convert runs the autoencoder plan, returning the converted images as a
+// plan-owned view valid until the set's next execution.
+func (ps *PlanSet) Convert(x *tensor.Tensor) *tensor.Tensor {
+	return ps.ae.Execute(nil, x)
+}
+
+// Logits runs the classifier plan alone, returning plan-owned logits.
+func (ps *PlanSet) Logits(x *tensor.Tensor) *tensor.Tensor {
+	return ps.cls.Execute(nil, x)
+}
+
+// InferInto classifies a batch through both plans into dst (length
+// x.Shape[0]). Zero heap allocations once warm (serial regime; parallel
+// fan-out spawns goroutines).
+func (ps *PlanSet) InferInto(dst []int, x *tensor.Tensor) {
+	ps.cls.Execute(nil, ps.ae.Execute(nil, x)).ArgMaxRows(dst)
+}
+
+// ClassifyDirectInto classifies a batch with the classifier plan alone into
+// dst, the easy-route fast path.
+func (ps *PlanSet) ClassifyDirectInto(dst []int, x *tensor.Tensor) {
+	ps.cls.Execute(nil, x).ArgMaxRows(dst)
+}
+
+// planSetLocked returns a plan set able to take batches of n rows, growing
+// (recompiling) the pipeline's private set on demand. The two networks
+// compile independently: a non-compilable AE still leaves the classifier
+// plan serving ClassifyDirectInto, and vice versa — callers check the
+// sub-plans they need and fall back to InferScratch per network. p.mu must
+// be held.
+func (p *Pipeline) planSetLocked(n int) *PlanSet {
+	if p.plansAE != p.AE || p.plansCls != p.Classifier {
+		// The networks were swapped out from under the cache: recompile
+		// and give previously failing networks another chance.
+		p.plans = nil
+		p.aeErr, p.clsErr = false, false
+		p.plansAE, p.plansCls = p.AE, p.Classifier
+	}
+	if p.plans != nil && n <= p.plans.cap {
+		return p.plans
+	}
+	c := n
+	if c < 16 {
+		c = 16
+	}
+	ps := &PlanSet{cap: c}
+	if !p.aeErr {
+		if plan, err := p.AE.CompilePlan(c); err == nil {
+			ps.ae = plan
+		} else {
+			p.aeErr = true
+		}
+	}
+	if !p.clsErr {
+		if plan, err := nn.Compile(p.Classifier, c); err == nil {
+			ps.cls = plan
+		} else {
+			p.clsErr = true
+		}
+	}
+	p.plans = ps
+	return ps
+}
+
+// scratchLocked returns the pipeline's retained fallback arena. p.mu must
+// be held.
+func (p *Pipeline) scratchLocked() *tensor.Scratch {
+	if p.scratch == nil {
+		p.scratch = &tensor.Scratch{}
+	}
+	p.scratch.Reset()
+	return p.scratch
 }
 
 // Convert runs only the autoencoder stage, returning the transformed
@@ -37,14 +170,14 @@ func (p *Pipeline) Convert(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ConvertScratch runs the autoencoder stage with all buffers borrowed from
-// the scratch arena. The result is arena-owned: copy out anything that must
-// survive the arena's reset.
+// the scratch arena — the dynamic-shape compatibility path. The result is
+// arena-owned: copy out anything that must survive the arena's reset.
 func (p *Pipeline) ConvertScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
 	return p.AE.Net.InferScratch(x, s)
 }
 
-// LogitsScratch runs only the lightweight classifier, returning
-// arena-owned logits.
+// LogitsScratch runs only the lightweight classifier on the compatibility
+// path, returning arena-owned logits.
 func (p *Pipeline) LogitsScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tensor {
 	return p.Classifier.InferScratch(x, s)
 }
@@ -52,18 +185,23 @@ func (p *Pipeline) LogitsScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Te
 // Infer classifies a batch through the full pipeline.
 func (p *Pipeline) Infer(x *tensor.Tensor) []int {
 	preds := make([]int, x.Shape[0])
-	s := tensor.GetScratch()
-	p.InferInto(preds, x, s)
-	tensor.PutScratch(s)
+	p.InferInto(preds, x)
 	return preds
 }
 
 // InferInto classifies a batch through the full pipeline (AE + classifier)
-// into dst, which must have length x.Shape[0]. All intermediates come from
-// s; once the arena has warmed to the pipeline's working-set size the call
-// performs zero heap allocations (single-threaded; parallel fan-out spawns
-// goroutines).
-func (p *Pipeline) InferInto(dst []int, x *tensor.Tensor, s *tensor.Scratch) {
+// into dst, which must have length x.Shape[0]. It executes the pipeline's
+// compiled plans — zero heap allocations once the plan set has warmed to
+// the batch capacity — serialized by the pipeline's mutex; concurrent
+// servers should run per-worker sets from Plans instead.
+func (p *Pipeline) InferInto(dst []int, x *tensor.Tensor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps := p.planSetLocked(x.Shape[0]); ps.ae != nil && ps.cls != nil {
+		ps.InferInto(dst, x)
+		return
+	}
+	s := p.scratchLocked()
 	converted := p.AE.Net.InferScratch(x, s)
 	p.Classifier.InferScratch(converted, s).ArgMaxRows(dst)
 }
@@ -75,16 +213,21 @@ func (p *Pipeline) InferInto(dst []int, x *tensor.Tensor, s *tensor.Scratch) {
 // of the pipeline latency (up to 25%, §IV-D).
 func (p *Pipeline) ClassifyDirect(x *tensor.Tensor) []int {
 	preds := make([]int, x.Shape[0])
-	s := tensor.GetScratch()
-	p.ClassifyDirectInto(preds, x, s)
-	tensor.PutScratch(s)
+	p.ClassifyDirectInto(preds, x)
 	return preds
 }
 
 // ClassifyDirectInto is the allocation-free form of ClassifyDirect: it
-// classifies into dst (length x.Shape[0]) with every intermediate borrowed
-// from s.
-func (p *Pipeline) ClassifyDirectInto(dst []int, x *tensor.Tensor, s *tensor.Scratch) {
+// classifies into dst (length x.Shape[0]) on the pipeline's compiled
+// classifier plan.
+func (p *Pipeline) ClassifyDirectInto(dst []int, x *tensor.Tensor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps := p.planSetLocked(x.Shape[0]); ps.cls != nil {
+		ps.ClassifyDirectInto(dst, x)
+		return
+	}
+	s := p.scratchLocked()
 	p.Classifier.InferScratch(x, s).ArgMaxRows(dst)
 }
 

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"runtime/debug"
+	"testing"
+
+	"cbnet/internal/dataset"
+	"cbnet/internal/tensor"
+)
+
+// TestRunBatchZeroAlloc pins the plan-backed worker's steady state: once
+// its PlanSet is warm, running a full hard-route batch — assemble input,
+// execute the AE and classifier plans, argmax, answer every request —
+// performs zero heap allocations (GOMAXPROCS is pinned to 1 by
+// AllocsPerRun, the serial-kernel regime).
+func TestRunBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	const n = 16
+	pipe := testPipeline()
+	e := New(pipe, Config{MaxBatch: n, Workers: 1})
+	defer e.Close()
+	// AllocsPerRun counts process-wide mallocs, and the engine's own
+	// workers compile their startup PlanSets asynchronously; push one
+	// request through each route so both workers are past startup before
+	// the measurement window opens.
+	for _, img := range [][]float32{easyImage(7), hardImage(7)} {
+		if _, err := e.Submit(context.Background(), Request{Pixels: img}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ps, err := pipe.Plans(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{
+		ps:    ps,
+		buf:   make([]float32, n*dataset.Pixels),
+		preds: make([]int, n),
+	}
+	w.x = tensor.Tensor{Shape: []int{0, dataset.Pixels}}
+
+	batch := make([]*request, n)
+	for i := range batch {
+		batch[i] = &request{pixels: hardImage(uint64(i)), done: make(chan Result, 1)}
+	}
+	run := func() {
+		e.runBatch(e.hard, batch, w)
+		for _, r := range batch {
+			<-r.done // drain so the buffered channels are reusable
+		}
+	}
+	run()
+	run()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(30, run); allocs != 0 {
+		t.Errorf("plan-backed runBatch: %v allocs per warm batch, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/tensor"
 )
@@ -17,10 +18,27 @@ const (
 	RouteHard RouteName = "hard"
 )
 
-// inferFn runs a batch and returns (logits, converted); converted is nil on
-// routes that skip the autoencoder. Both results are borrowed from s and
-// only valid until its next Reset.
-type inferFn func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor)
+// inferFn runs a batch on one worker's compiled plans (or its scratch
+// fallback) and returns (logits, converted); converted is nil on routes
+// that skip the autoencoder. Both results are plan- or arena-owned and only
+// valid until the worker's next batch.
+type inferFn func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor)
+
+// worker is one inference goroutine's private state. The serving path runs
+// on compiled execution plans — ps holds the worker's own PlanSet, sized to
+// MaxBatch, so steady-state batches execute with zero heap allocations and
+// no cross-worker sharing. When the pipeline's networks are not
+// plan-compilable, s carries the dynamic InferScratch fallback instead.
+type worker struct {
+	ps *core.PlanSet
+	s  *tensor.Scratch
+
+	// buf backs the batch input tensor; x is the reusable header over it,
+	// resliced to the live batch size each round.
+	buf   []float32
+	x     tensor.Tensor
+	preds []int
+}
 
 // route owns one admission queue, one batcher, and a pool of workers.
 type route struct {
@@ -124,36 +142,56 @@ func (e *Engine) batchLoop(rt *route) {
 	}
 }
 
-// worker executes formed batches until the batcher closes the channel.
-// Each worker owns one scratch arena for its lifetime: after the first few
-// batches grow it to the pipeline's working-set size, the steady-state
-// forward pass allocates nothing.
-func (e *Engine) worker(rt *route) {
+// workerLoop executes formed batches until the batcher closes the channel.
+// Each worker owns one compiled PlanSet for its lifetime, so steady-state
+// batches run a flat precompiled step loop with zero heap allocations; a
+// pipeline the plan compiler cannot handle demotes the worker to a private
+// scratch arena running the dynamic path.
+func (e *Engine) workerLoop(rt *route) {
 	defer e.wg.Done()
-	s := tensor.GetScratch()
-	defer tensor.PutScratch(s)
-	preds := make([]int, 0, e.cfg.MaxBatch)
+	w := &worker{
+		buf:   make([]float32, e.cfg.MaxBatch*dataset.Pixels),
+		preds: make([]int, e.cfg.MaxBatch),
+	}
+	w.x = tensor.Tensor{Shape: []int{0, dataset.Pixels}}
+	// Easy-route workers never run the autoencoder, so they compile only
+	// the classifier plan and skip the AE plan's buffer entirely.
+	var ps *core.PlanSet
+	var err error
+	if rt.name == RouteEasy {
+		ps, err = e.pipe.ClassifierPlans(e.cfg.MaxBatch)
+	} else {
+		ps, err = e.pipe.Plans(e.cfg.MaxBatch)
+	}
+	if err == nil {
+		w.ps = ps
+	} else {
+		w.s = tensor.GetScratch()
+		defer tensor.PutScratch(w.s)
+	}
 	for batch := range rt.batches {
-		e.runBatch(rt, batch, s, preds[:min(len(batch), cap(preds))])
+		e.runBatch(rt, batch, w)
 	}
 }
 
-// runBatch assembles the batch tensor in the worker's arena, runs the
-// route's forward pass, and answers every request in the batch. Everything
-// a requester keeps (class, converted image) is extracted or copied before
-// the function returns, because the next batch resets the arena.
-func (e *Engine) runBatch(rt *route, batch []*request, s *tensor.Scratch, preds []int) {
+// runBatch assembles the batch tensor in the worker's buffer, runs the
+// route's forward pass on its plans, and answers every request in the
+// batch. Everything a requester keeps (class, converted image) is
+// extracted or copied before the function returns, because the next batch
+// reuses the plan buffers.
+func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 	n := len(batch)
-	s.Reset()
-	x := s.Tensor(n, dataset.Pixels)
+	if w.s != nil {
+		w.s.Reset()
+	}
+	w.x.Shape[0] = n
+	w.x.Data = w.buf[:n*dataset.Pixels]
 	for i, r := range batch {
-		copy(x.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], r.pixels)
+		copy(w.x.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], r.pixels)
 	}
-	if len(preds) != n { // batch larger than MaxBatch never happens; be safe
-		preds = make([]int, n)
-	}
+	preds := w.preds[:n]
 	start := time.Now()
-	logits, converted := rt.infer(x, s)
+	logits, converted := rt.infer(w, &w.x)
 	inferDur := time.Since(start)
 	logits.ArgMaxRows(preds)
 

@@ -160,12 +160,19 @@ func New(pipe *core.Pipeline, cfg Config) *Engine {
 		pipe:  pipe,
 		stats: newEngineStats(cfg),
 	}
-	e.easy = e.newRoute(RouteEasy, func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor) {
-		return pipe.LogitsScratch(x, s), nil
+	e.easy = e.newRoute(RouteEasy, func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+		if w.ps != nil {
+			return w.ps.Logits(x), nil
+		}
+		return pipe.LogitsScratch(x, w.s), nil
 	})
-	e.hard = e.newRoute(RouteHard, func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor) {
-		converted := pipe.ConvertScratch(x, s)
-		return pipe.LogitsScratch(converted, s), converted
+	e.hard = e.newRoute(RouteHard, func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+		if w.ps != nil {
+			converted := w.ps.Convert(x)
+			return w.ps.Logits(converted), converted
+		}
+		converted := pipe.ConvertScratch(x, w.s)
+		return pipe.LogitsScratch(converted, w.s), converted
 	})
 	if cfg.DisableRouting {
 		// The easy route is never used: leave it unstarted rather than
@@ -183,7 +190,7 @@ func (e *Engine) startRoute(rt *route, workers int) {
 	go e.batchLoop(rt)
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
-		go e.worker(rt)
+		go e.workerLoop(rt)
 	}
 }
 

@@ -143,10 +143,12 @@ func TestDisableRoutingPinsHard(t *testing.T) {
 }
 
 func TestBatchCoalescing(t *testing.T) {
-	// Stall the workers' first batch long enough for followers to
-	// coalesce: submit a burst concurrently and require that at least one
-	// response rode in a batch larger than one.
-	e := testEngine(t, Config{MaxBatch: 16, MaxWait: 20 * time.Millisecond, Workers: 1, DisableRouting: true})
+	// Wedge the single worker's first batch on a gate until every request
+	// of the burst has been admitted, so the followers deterministically
+	// coalesce instead of racing the worker's throughput (the un-gated
+	// version flaked when the worker drained requests one by one faster
+	// than the submitters could queue them).
+	e, gate := gateEngine(t, Config{MaxBatch: 16, MaxWait: 20 * time.Millisecond, Workers: 1})
 	const n = 24
 	results := make(chan Result, n)
 	for i := 0; i < n; i++ {
@@ -160,6 +162,13 @@ func TestBatchCoalescing(t *testing.T) {
 			results <- res
 		}(i)
 	}
+	for deadline := time.Now().Add(10 * time.Second); e.Stats().Submitted < n; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests admitted", e.Stats().Submitted, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate) // release the wedged batch and everything queued behind it
 	maxBatch := 0
 	for i := 0; i < n; i++ {
 		if res := <-results; res.BatchSize > maxBatch {

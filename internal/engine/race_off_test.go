@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled gates the strict zero-allocation assertions; see
+// race_on_test.go.
+const raceEnabled = false

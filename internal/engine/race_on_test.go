@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled gates the strict zero-allocation assertions: race-detector
+// instrumentation performs its own heap allocations, which AllocsPerRun
+// attributes to the measured function.
+const raceEnabled = true

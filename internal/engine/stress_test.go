@@ -104,9 +104,9 @@ func gateEngine(t *testing.T, cfg Config) (*Engine, chan struct{}) {
 	t.Cleanup(e.Close)
 	gate := make(chan struct{})
 	orig := e.hard.infer
-	e.hard.infer = func(x *tensor.Tensor, s *tensor.Scratch) (*tensor.Tensor, *tensor.Tensor) {
+	e.hard.infer = func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 		<-gate
-		return orig(x, s)
+		return orig(w, x)
 	}
 	return e, gate
 }

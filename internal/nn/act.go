@@ -99,7 +99,7 @@ func (s *Sigmoid) OutSize(inSize int) (int, error) { return inSize, nil }
 func (s *Sigmoid) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	y := x.Clone()
 	for i, v := range y.Data {
-		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		y.Data[i] = Sigmoid32(v)
 	}
 	if training {
 		s.lastOut = y
@@ -112,10 +112,15 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 func (s *Sigmoid) ForwardScratch(x *tensor.Tensor, sc *tensor.Scratch) *tensor.Tensor {
 	y := sc.Tensor(x.Shape...)
 	for i, v := range x.Data {
-		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		y.Data[i] = Sigmoid32(v)
 	}
 	return y
 }
+
+// Sigmoid32 aliases tensor.Sigmoid32, the single logistic definition every
+// sigmoid path (layer, scratch, fused epilogue, plan step) shares so their
+// outputs agree bitwise.
+func Sigmoid32(v float32) float32 { return tensor.Sigmoid32(v) }
 
 // Backward uses dσ/dx = σ(1−σ).
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {

@@ -26,6 +26,35 @@ type Conv2D struct {
 	// lastInput and lastCols cache training-mode state for Backward.
 	lastInput *tensor.Tensor
 	lastCols  []float32 // batch of im2col matrices, one per sample
+
+	// bwd holds the per-worker backward scratch (gradient accumulators,
+	// dcol buffers, GEMM packing panels), retained across steps so the
+	// training loop stops reallocating them every minibatch.
+	bwd convBackward
+}
+
+// convBackward is the retained backward-pass scratch of one Conv2D: slot w
+// belongs to worker w of the data-parallel gradient fan-out.
+type convBackward struct {
+	dWs   []*tensor.Tensor
+	dBs   []*tensor.Tensor
+	dcols [][]float32
+	packs []tensor.PackScratch
+}
+
+// ensure grows the scratch to cover workers slots and zeroes the gradient
+// accumulators of the slots about to be used.
+func (s *convBackward) ensure(workers, outC, colRows, colCols int) {
+	for len(s.dWs) < workers {
+		s.dWs = append(s.dWs, tensor.New(outC, colRows))
+		s.dBs = append(s.dBs, tensor.New(outC))
+		s.dcols = append(s.dcols, make([]float32, colRows*colCols))
+		s.packs = append(s.packs, tensor.PackScratch{})
+	}
+	for w := 0; w < workers; w++ {
+		s.dWs[w].Zero()
+		s.dBs[w].Zero()
+	}
 }
 
 // NewConv2D creates a convolution layer. Geometry errors (kernel larger than
@@ -135,10 +164,10 @@ func (c *Conv2D) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Ten
 
 	col := s.Take(colRows * batchCols)
 	if !tensor.ShouldParallel(n, colRows*colCols) {
-		c.im2colRange(x, col, batchCols, 0, n)
+		c.im2colRange(x.Data, col, batchCols, 0, n)
 	} else {
 		tensor.ParallelFor(n, colRows*colCols, func(i0, i1 int) {
-			c.im2colRange(x, col, batchCols, i0, i1)
+			c.im2colRange(x.Data, col, batchCols, i0, i1)
 		})
 	}
 
@@ -150,38 +179,44 @@ func (c *Conv2D) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Ten
 	// per-channel bias into the copy.
 	y := s.Tensor(n, c.OutC*colCols)
 	if !tensor.ShouldParallel(n, c.OutC*colCols) {
-		c.scatterBiasRange(out, y, colCols, batchCols, 0, n)
+		c.scatterRange(out, y.Data, c.B.Value.Data, colCols, batchCols, 0, n)
 	} else {
 		tensor.ParallelFor(n, c.OutC*colCols, func(i0, i1 int) {
-			c.scatterBiasRange(out, y, colCols, batchCols, i0, i1)
+			c.scatterRange(out, y.Data, c.B.Value.Data, colCols, batchCols, i0, i1)
 		})
 	}
 	return y
 }
 
-// im2colRange expands samples [i0, i1) into their column windows of the
-// batch column matrix.
-func (c *Conv2D) im2colRange(x *tensor.Tensor, col []float32, batchCols, i0, i1 int) {
+// im2colRange expands samples [i0, i1) of the flattened batch in into their
+// column windows of the batch column matrix.
+func (c *Conv2D) im2colRange(in, col []float32, batchCols, i0, i1 int) {
 	inSize := c.InSize()
 	colCols := c.Dims.ColCols()
 	for i := i0; i < i1; i++ {
-		img := x.Data[i*inSize : (i+1)*inSize]
+		img := in[i*inSize : (i+1)*inSize]
 		tensor.Im2ColInto(img, c.Dims, col, batchCols, i*colCols)
 	}
 }
 
-// scatterBiasRange writes samples [i0, i1) of the channel-major GEMM output
-// into sample-major layout, adding the per-channel bias.
-func (c *Conv2D) scatterBiasRange(out []float32, y *tensor.Tensor, colCols, batchCols, i0, i1 int) {
+// scatterRange writes samples [i0, i1) of the channel-major GEMM output src
+// into sample-major layout in dst, adding the per-channel bias when bias is
+// non-nil (the plan path fuses it into the GEMM and passes nil for a pure
+// regroup copy).
+func (c *Conv2D) scatterRange(src, dst, bias []float32, colCols, batchCols, i0, i1 int) {
 	outWidth := c.OutC * colCols
 	for i := i0; i < i1; i++ {
-		row := y.Data[i*outWidth : (i+1)*outWidth]
+		row := dst[i*outWidth : (i+1)*outWidth]
 		for oc := 0; oc < c.OutC; oc++ {
-			b := c.B.Value.Data[oc]
-			src := out[oc*batchCols+i*colCols : oc*batchCols+(i+1)*colCols]
-			dst := row[oc*colCols : (oc+1)*colCols]
-			for j, v := range src {
-				dst[j] = v + b
+			from := src[oc*batchCols+i*colCols : oc*batchCols+(i+1)*colCols]
+			to := row[oc*colCols : (oc+1)*colCols]
+			if bias == nil {
+				copy(to, from)
+				continue
+			}
+			b := bias[oc]
+			for j, v := range from {
+				to[j] = v + b
 			}
 		}
 	}
@@ -209,33 +244,31 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if workers < 1 {
 		workers = 1
 	}
-	dWs := make([]*tensor.Tensor, workers)
-	dBs := make([]*tensor.Tensor, workers)
+	c.bwd.ensure(workers, c.OutC, colRows, colCols)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		i0 := w * chunk
 		if i0 >= n {
-			dWs[w] = tensor.New(c.OutC, colRows)
-			dBs[w] = tensor.New(c.OutC)
 			continue
 		}
 		i1 := i0 + chunk
 		if i1 > n {
 			i1 = n
 		}
-		dW := tensor.New(c.OutC, colRows)
-		dB := tensor.New(c.OutC)
-		dWs[w], dBs[w] = dW, dB
+		dW, dB := c.bwd.dWs[w], c.bwd.dBs[w]
+		dcol := c.bwd.dcols[w]
+		pack := &c.bwd.packs[w]
 		wg.Add(1)
 		go func(i0, i1 int) {
 			defer wg.Done()
-			dcol := make([]float32, colRows*colCols)
+			dcolMat := tensor.FromSlice(dcol, colRows, colCols)
 			for i := i0; i < i1; i++ {
 				gOut := tensor.FromSlice(grad.Data[i*outWidth:(i+1)*outWidth], c.OutC, colCols)
 				col := tensor.FromSlice(c.lastCols[i*colRows*colCols:(i+1)*colRows*colCols], colRows, colCols)
-				// dW += gOut · colᵀ
-				dW.AddInPlace(tensor.MatMulTransB(gOut, col))
+				// dW += gOut · colᵀ, accumulated in place through the
+				// worker's retained packing panels.
+				tensor.MatMulTransBAcc(dW, gOut, col, pack)
 				// db += spatial sums of gOut
 				for oc := 0; oc < c.OutC; oc++ {
 					row := gOut.Data[oc*colCols : (oc+1)*colCols]
@@ -246,9 +279,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 					dB.Data[oc] += s
 				}
 				// dcol = Wᵀ · gOut, then scatter back to image space.
-				dcolMat := tensor.FromSlice(dcol, colRows, colCols)
-				res := tensor.MatMulTransA(c.W.Value, gOut)
-				copy(dcolMat.Data, res.Data)
+				tensor.MatMulTransAInto(dcolMat, c.W.Value, gOut, pack)
 				img := dx.Data[i*c.InSize() : (i+1)*c.InSize()]
 				tensor.Col2Im(dcol, c.Dims, img)
 			}
@@ -256,8 +287,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
-		c.W.Grad.AddInPlace(dWs[w])
-		c.B.Grad.AddInPlace(dBs[w])
+		c.W.Grad.AddInPlace(c.bwd.dWs[w])
+		c.B.Grad.AddInPlace(c.bwd.dBs[w])
 	}
 	return dx
 }

@@ -16,6 +16,9 @@ type Dense struct {
 
 	// cached training-mode input for the backward pass
 	lastInput *tensor.Tensor
+	// pack retains the blocked-GEMM packing panels of the backward
+	// products across training steps.
+	pack tensor.PackScratch
 }
 
 // NewDense creates a dense layer with He-initialized weights (suitable for
@@ -82,12 +85,16 @@ func (d *Dense) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.Tens
 }
 
 // Backward accumulates dW = xᵀ·dy and db = Σ_batch dy, and returns
-// dx = dy·Wᵀ.
+// dx = dy·Wᵀ. The gradient products accumulate directly into the parameter
+// gradients through the layer's retained packing panels, so a training step
+// allocates only the returned dx.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastInput == nil {
 		panic(fmt.Sprintf("dense %s: Backward before training-mode Forward", d.LayerName))
 	}
-	d.W.Grad.AddInPlace(tensor.MatMulTransA(d.lastInput, grad))
-	d.B.Grad.AddInPlace(grad.SumRows())
-	return tensor.MatMulTransB(grad, d.W.Value)
+	tensor.MatMulTransAAcc(d.W.Grad, d.lastInput, grad, &d.pack)
+	grad.SumRowsInto(d.B.Grad)
+	dx := tensor.New(grad.Shape[0], d.In)
+	tensor.MatMulTransBInto(dx, grad, d.W.Value, &d.pack)
+	return dx
 }

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+)
+
+// TestCompileFusionAndElision pins the compiler's structural output on the
+// mixed test net: identity layers vanish, activations fold into their
+// producing GEMM steps, and a dense layer with no trailing activation stays
+// a bare step.
+func TestCompileFusionAndElision(t *testing.T) {
+	net := scratchTestNet(rng.New(42))
+	p, err := Compile(net, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"conv1+relu1", "pool1", "conv2+sig", "fc1", "fc2+sm"}
+	got := p.StepNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("compiled steps %v, want %v", got, want)
+	}
+	if p.InWidth() != 144 || p.OutWidth() != 10 || p.BatchCap() != 16 {
+		t.Fatalf("plan geometry in=%d out=%d cap=%d, want 144/10/16", p.InWidth(), p.OutWidth(), p.BatchCap())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Compile(NewSequential("bad", NewReLU("r"), NewDense("fc", 4, 2, r)), 8); err == nil {
+		t.Error("leading activation with unknown width: want error")
+	}
+	if _, err := Compile(NewSequential("empty", NewDropout("d", 0.5, r)), 8); err == nil {
+		t.Error("no shape-bearing layer: want error")
+	}
+	if _, err := Compile(scratchTestNet(r), 0); err == nil {
+		t.Error("non-positive batch capacity: want error")
+	}
+	if _, err := Compile(NewSequential("mismatch", NewDense("a", 4, 8, r), NewDense("b", 9, 2, r)), 8); err == nil {
+		t.Error("width mismatch between layers: want error")
+	}
+}
+
+// TestPlanMatchesInferScratch asserts the strong invariant: the fused plan
+// computes bit-identical outputs to the unfused scratch path, which runs
+// the same batched GEMM compositions with separate bias/activation sweeps.
+func TestPlanMatchesInferScratch(t *testing.T) {
+	net := scratchTestNet(rng.New(42))
+	p, err := Compile(net, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tensor.GetScratch()
+	defer tensor.PutScratch(s)
+	for _, n := range []int{1, 3, 16} {
+		x := tensor.New(n, 144)
+		x.RandUniform(rng.New(uint64(n)), -1, 1)
+		s.Reset()
+		want := net.InferScratch(x, s)
+		got := p.Execute(nil, x)
+		if !got.SameShape(want) {
+			t.Fatalf("batch %d: plan shape %v, want %v", n, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("batch %d: plan output[%d] = %v, scratch = %v (not bitwise equal)", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestPlanMatchesForward pins the plan to the plain Forward path: exactly
+// (≤1e-6, observed 0) when both run the same scalar kernels, and within the
+// blocked-kernel oracle tolerance under production dispatch, where Forward's
+// per-sample products and the plan's batched products may pick different
+// (individually oracle-tested) kernels.
+func TestPlanMatchesForward(t *testing.T) {
+	for _, forced := range []struct {
+		name    string
+		blocked bool
+		tol     float32
+	}{
+		{"scalar-kernels", false, 1e-6},
+		{"production-dispatch", tensor.BlockedKernelEnabled(), 1e-5},
+	} {
+		prev := tensor.SetBlockedKernelForTest(forced.blocked)
+		net := scratchTestNet(rng.New(7))
+		p, err := Compile(net, 16)
+		if err != nil {
+			tensor.SetBlockedKernelForTest(prev)
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 7, 16} {
+			x := tensor.New(n, 144)
+			x.RandUniform(rng.New(uint64(n+3)), -1, 1)
+			want := net.Forward(x, false)
+			got := p.Execute(nil, x)
+			for i := range want.Data {
+				d := got.Data[i] - want.Data[i]
+				if d < -forced.tol || d > forced.tol {
+					t.Fatalf("%s batch %d: plan output[%d] = %v, forward = %v", forced.name, n, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+		tensor.SetBlockedKernelForTest(prev)
+	}
+}
+
+// TestPlanRepeatedMixedBatches reuses one plan across varying batch sizes,
+// the engine worker's usage pattern, including executions into a
+// caller-owned destination.
+func TestPlanRepeatedMixedBatches(t *testing.T) {
+	net := scratchTestNet(rng.New(9))
+	p, err := Compile(net, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, n := range []int{4, 1, 16, 2, 16, 8} {
+		x := tensor.New(n, 144)
+		x.RandUniform(rng.New(uint64(round+1)), -1, 1)
+		want := net.Forward(x, false)
+		var got *tensor.Tensor
+		if round%2 == 0 {
+			got = p.Execute(nil, x)
+		} else {
+			dst := tensor.New(n, p.OutWidth())
+			if out := p.Execute(dst, x); out != dst {
+				t.Fatalf("round %d: Execute(dst, x) returned %p, want dst", round, out)
+			}
+			got = dst
+		}
+		for i := range want.Data {
+			d := got.Data[i] - want.Data[i]
+			if d < -1e-5 || d > 1e-5 {
+				t.Fatalf("round %d (batch %d): output[%d] = %v, want %v", round, n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestPlanBatchCapPanics(t *testing.T) {
+	p, err := Compile(scratchTestNet(rng.New(3)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch beyond capacity: want panic")
+		}
+	}()
+	p.Execute(nil, tensor.New(5, 144))
+}
+
+// TestPlanExecuteZeroAlloc is the tentpole's allocation contract: a warm
+// Plan.Execute performs no heap allocations (AllocsPerRun pins GOMAXPROCS
+// to 1, the serial-kernel regime the single-core edge deployment runs in).
+func TestPlanExecuteZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	net := scratchTestNet(rng.New(11))
+	p, err := Compile(net, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, n := range []int{1, 16} {
+		x := tensor.New(n, 144)
+		x.RandUniform(rng.New(uint64(n)), -1, 1)
+		p.Execute(nil, x)
+		p.Execute(nil, x)
+		allocs := testing.AllocsPerRun(30, func() { p.Execute(nil, x) })
+		if allocs != 0 {
+			t.Errorf("Plan.Execute batch %d: %v allocs per warm call, want 0", n, allocs)
+		}
+	}
+}
+
+// TestDenseBackwardPackScratchAllocs pins the training-path satellite: a
+// dense backward step allocates only its returned dx once the layer's
+// retained packing panels are warm.
+func TestDenseBackwardPackScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	d := NewDense("fc", 128, 64, rng.New(5))
+	x := tensor.New(32, 128)
+	x.RandUniform(rng.New(6), -1, 1)
+	grad := tensor.New(32, 64)
+	grad.RandUniform(rng.New(7), -1, 1)
+	d.Forward(x, true)
+	d.Backward(grad) // warm panels
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(20, func() { _ = d.Backward(grad) })
+	// Only the returned dx may allocate: tensor.New costs four allocations
+	// (variadic shape arg, header, shape copy, data). The pre-scratch
+	// implementation paid three full product tensors plus panel churn.
+	if allocs > 4 {
+		t.Errorf("dense backward: %v allocs per warm step, want ≤ 4 (dx only)", allocs)
+	}
+}

@@ -79,7 +79,7 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 		p.lastBatch = n
 	}
 	tensor.ParallelFor(n, p.InSize()*p.Pool, func(i0, i1 int) {
-		p.poolRange(x, y, args, i0, i1)
+		p.poolRange(x.Data, y.Data, args, i0, i1)
 	})
 	return y
 }
@@ -93,22 +93,23 @@ func (p *MaxPool2D) ForwardScratch(x *tensor.Tensor, s *tensor.Scratch) *tensor.
 	}
 	y := s.Tensor(n, p.C*p.OutH*p.OutW)
 	if !tensor.ShouldParallel(n, p.InSize()*p.Pool) {
-		p.poolRange(x, y, nil, 0, n)
+		p.poolRange(x.Data, y.Data, nil, 0, n)
 	} else {
 		tensor.ParallelFor(n, p.InSize()*p.Pool, func(i0, i1 int) {
-			p.poolRange(x, y, nil, i0, i1)
+			p.poolRange(x.Data, y.Data, nil, i0, i1)
 		})
 	}
 	return y
 }
 
-// poolRange pools samples [i0, i1); when args is non-nil it also records
-// the winning input index of every output element for the backward pass.
-func (p *MaxPool2D) poolRange(x, y *tensor.Tensor, args []int32, i0, i1 int) {
+// poolRange pools samples [i0, i1) of the flattened batch x into y; when
+// args is non-nil it also records the winning input index of every output
+// element for the backward pass.
+func (p *MaxPool2D) poolRange(x, y []float32, args []int32, i0, i1 int) {
 	outWidth := p.C * p.OutH * p.OutW
 	for i := i0; i < i1; i++ {
-		in := x.Data[i*p.InSize() : (i+1)*p.InSize()]
-		out := y.Data[i*outWidth : (i+1)*outWidth]
+		in := x[i*p.InSize() : (i+1)*p.InSize()]
+		out := y[i*outWidth : (i+1)*outWidth]
 		oi := 0
 		for c := 0; c < p.C; c++ {
 			plane := in[c*p.H*p.W : (c+1)*p.H*p.W]

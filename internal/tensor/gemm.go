@@ -45,7 +45,7 @@ func GEMM(a, b, c []float32, m, k, n int, alpha, beta float32) {
 	case m == 1:
 		gemvRow(a, b, c, k, n, alpha, beta)
 	case useBlocked(m, k, n):
-		gemmBlocked(a, k, 1, b, n, 1, c, m, k, n, alpha, beta)
+		gemmBlocked(a, k, 1, b, n, 1, c, m, k, n, alpha, beta, Epilogue{}, nil)
 	default:
 		gemmNaive(a, b, c, m, k, n, alpha, beta)
 	}
@@ -62,19 +62,57 @@ func useBlocked(m, k, n int) bool {
 // MatMulTransA computes C = Aᵀ × B without materializing Aᵀ.
 // A is k×m, B is k×n, C is m×n.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := checkTransA(a, b)
+	c := New(m, n)
+	matMulTransA(c, a, b, m, k, n, 0, nil)
+	return c
+}
+
+// MatMulTransAInto computes C = Aᵀ × B into an existing m×n tensor, routing
+// the blocked path's packing panels through ps (shared pool when nil).
+func MatMulTransAInto(c, a, b *Tensor, ps *PackScratch) {
+	k, m, n := checkTransA(a, b)
+	checkTransOut(c, m, n, "MatMulTransAInto")
+	matMulTransA(c, a, b, m, k, n, 0, ps)
+}
+
+// MatMulTransAAcc computes C += Aᵀ × B into an existing m×n tensor — the
+// gradient-accumulation shape of the backward passes — without allocating
+// an intermediate product.
+func MatMulTransAAcc(c, a, b *Tensor, ps *PackScratch) {
+	k, m, n := checkTransA(a, b)
+	checkTransOut(c, m, n, "MatMulTransAAcc")
+	matMulTransA(c, a, b, m, k, n, 1, ps)
+}
+
+func checkTransA(a, b *Tensor) (k, m, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransA on non-matrices")
 	}
-	k, m := a.Shape[0], a.Shape[1]
+	k, m = a.Shape[0], a.Shape[1]
 	if b.Shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Shape[0]))
 	}
-	n := b.Shape[1]
-	c := New(m, n)
+	return k, m, b.Shape[1]
+}
+
+func checkTransOut(c *Tensor, m, n int, what string) {
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", what, c.Shape, m, n))
+	}
+}
+
+// matMulTransA computes C = Aᵀ×B + beta·C (beta must be 0 or 1).
+func matMulTransA(c, a, b *Tensor, m, k, n int, beta float32, ps *PackScratch) {
 	if useBlocked(m, k, n) {
 		// op(A)[i,p] = a[p*m+i]: unit row stride, column stride m.
-		gemmBlocked(a.Data, 1, m, b.Data, n, 1, c.Data, m, k, n, 1, 0)
-		return c
+		gemmBlocked(a.Data, 1, m, b.Data, n, 1, c.Data, m, k, n, 1, beta, Epilogue{}, ps)
+		return
+	}
+	if beta == 0 {
+		for i := range c.Data[:m*n] {
+			c.Data[i] = 0
+		}
 	}
 	// cᵢⱼ = Σ_p a_{p,i} b_{p,j}: for each p, rank-1 update of C rows.
 	// Parallelize over row blocks of C (i), accumulating locally.
@@ -94,26 +132,51 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return c
 }
 
 // MatMulTransB computes C = A × Bᵀ without materializing Bᵀ.
 // A is m×k, B is n×k, C is m×n.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := checkTransB(a, b)
+	c := New(m, n)
+	matMulTransB(c, a, b, m, k, n, 0, nil)
+	return c
+}
+
+// MatMulTransBInto computes C = A × Bᵀ into an existing m×n tensor, routing
+// the blocked path's packing panels through ps (shared pool when nil).
+func MatMulTransBInto(c, a, b *Tensor, ps *PackScratch) {
+	m, k, n := checkTransB(a, b)
+	checkTransOut(c, m, n, "MatMulTransBInto")
+	matMulTransB(c, a, b, m, k, n, 0, ps)
+}
+
+// MatMulTransBAcc computes C += A × Bᵀ into an existing m×n tensor.
+func MatMulTransBAcc(c, a, b *Tensor, ps *PackScratch) {
+	m, k, n := checkTransB(a, b)
+	checkTransOut(c, m, n, "MatMulTransBAcc")
+	matMulTransB(c, a, b, m, k, n, 1, ps)
+}
+
+func checkTransB(a, b *Tensor) (m, k, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransB on non-matrices")
 	}
-	m, k := a.Shape[0], a.Shape[1]
+	m, k = a.Shape[0], a.Shape[1]
 	if b.Shape[1] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Shape[1]))
 	}
-	n := b.Shape[0]
-	c := New(m, n)
+	return m, k, b.Shape[0]
+}
+
+// matMulTransB computes C = A×Bᵀ + beta·C (beta must be 0 or 1).
+func matMulTransB(c, a, b *Tensor, m, k, n int, beta float32, ps *PackScratch) {
 	if useBlocked(m, k, n) {
 		// op(B)[p,j] = b[j*k+p]: row stride 1, column stride k.
-		gemmBlocked(a.Data, k, 1, b.Data, 1, k, c.Data, m, k, n, 1, 0)
-		return c
+		gemmBlocked(a.Data, k, 1, b.Data, 1, k, c.Data, m, k, n, 1, beta, Epilogue{}, ps)
+		return
 	}
+	acc := beta == 1
 	parallelRows(m, m*n*k, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			arow := a.Data[i*k : (i+1)*k]
@@ -124,11 +187,14 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 				for p, av := range arow {
 					s += av * brow[p]
 				}
-				crow[j] = s
+				if acc {
+					crow[j] += s
+				} else {
+					crow[j] = s
+				}
 			}
 		}
 	})
-	return c
 }
 
 func checkMatMul(a, b *Tensor) (m, k, n int) {
@@ -392,6 +458,29 @@ func (t *Tensor) SumRows() *Tensor {
 		sumRowsRange(out.Data, t.Data, m, n, j0, j1)
 	})
 	return out
+}
+
+// SumRowsInto accumulates the column-wise sum of a 2-D tensor into acc
+// (length n), i.e. acc += Σ_rows t — the bias-gradient shape of the dense
+// backward pass, computed without allocating an intermediate vector.
+func (t *Tensor) SumRowsInto(acc *Tensor) {
+	if len(t.Shape) != 2 {
+		panic("tensor: SumRowsInto on non-matrix")
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	if len(acc.Shape) != 1 || acc.Shape[0] != n {
+		panic(fmt.Sprintf("tensor: SumRowsInto acc shape %v, want [%d]", acc.Shape, n))
+	}
+	if n == 0 {
+		return
+	}
+	if !ShouldParallel(n, m) {
+		sumRowsRange(acc.Data, t.Data, m, n, 0, n)
+		return
+	}
+	parallelRows(n, n*m, func(j0, j1 int) {
+		sumRowsRange(acc.Data, t.Data, m, n, j0, j1)
+	})
 }
 
 func sumRowsRange(out, data []float32, m, n, j0, j1 int) {

@@ -48,6 +48,18 @@ var blockedEnabled = false
 // FMA micro-kernel on this machine (amd64 with AVX2+FMA detected at init).
 func BlockedKernelEnabled() bool { return blockedEnabled }
 
+// SetBlockedKernelForTest overrides the blocked-kernel dispatch gate and
+// returns the previous setting. It exists for cross-package parity oracles
+// that want to compare two compositions of the same scalar kernels without
+// the (separately oracle-tested) blocked-vs-axpy rounding differences; the
+// portable micro-kernel keeps the blocked path correct when forced on. Not
+// safe to flip while GEMMs are running on other goroutines.
+func SetBlockedKernelForTest(enabled bool) bool {
+	prev := blockedEnabled
+	blockedEnabled = enabled
+	return prev
+}
+
 // microKernel computes acc = Asliver × Bsliver over packed panels: ap holds
 // kc groups of mr A values, bp holds kc groups of nr B values, and acc is
 // the row-major mr×nr product tile (overwritten, not accumulated).
@@ -81,6 +93,23 @@ type gemmBuf struct {
 
 var gemmBufPool = sync.Pool{New: func() any { return new(gemmBuf) }}
 
+// PackScratch owns the packing panels of blocked GEMM calls routed through
+// it. The shared gemmBufPool already recycles panels between calls, but
+// sync.Pool contents are dropped at every GC cycle — and training loops
+// allocate enough elsewhere to GC constantly, so backward passes kept
+// regrowing panels. A PackScratch held by the caller (one per goroutine; the
+// layers keep one per backward worker) makes the reuse deterministic. The
+// zero value is ready to use.
+type PackScratch struct {
+	buf gemmBuf
+}
+
+// PanelBytes returns the current packing-panel footprint in bytes, for
+// capacity introspection in tests.
+func (ps *PackScratch) PanelBytes() int {
+	return 4 * (cap(ps.buf.ap) + cap(ps.buf.bp))
+}
+
 func (g *gemmBuf) ensureA(n int) []float32 {
 	if cap(g.ap) < n {
 		g.ap = make([]float32, n)
@@ -104,9 +133,21 @@ func roundUp(x, to int) int { return (x + to - 1) / to * to }
 // op(A)[i,p] lives at a[i*ars+p*acs] and op(B)[p,j] at b[p*brs+j*bcs] — so
 // the same driver serves the plain, transposed-A, and transposed-B products
 // without materializing a transpose.
-func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, m, k, n int, alpha, beta float32) {
-	db := gemmBufPool.Get().(*gemmBuf)
-	defer gemmBufPool.Put(db)
+//
+// A non-identity ep is applied to each C tile on the final depth block,
+// right after its write-back while the tile is cache-resident (ep travels
+// by value so no escape-analysis heap traffic reaches the serial path). A
+// non-nil ps supplies the caller-owned packing panels; otherwise they come
+// from the shared pool.
+func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, m, k, n int, alpha, beta float32, ep Epilogue, ps *PackScratch) {
+	var db *gemmBuf
+	if ps != nil {
+		db = &ps.buf
+	} else {
+		pooled := gemmBufPool.Get().(*gemmBuf)
+		defer gemmBufPool.Put(pooled)
+		db = pooled
+	}
 	for jcLoop := 0; jcLoop < n; jcLoop += blockNC {
 		// Per-iteration copies: the parallel branch's closure must not
 		// capture the loop induction variables by reference, which would
@@ -121,27 +162,38 @@ func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float
 			if pc == 0 {
 				betaEff = beta
 			}
+			applyEp := !ep.isIdentity() && pc+kc == k
 			packB(b, brs, bcs, pc, jc, kc, nc, bp)
 			mBlocks := (m + blockMC - 1) / blockMC
 			if !ShouldParallel(mBlocks, 2*m*kc*nc/mBlocks) {
 				// Serial path: no closure construction, no allocation.
-				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, db, 0, mBlocks)
+				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, db, 0, mBlocks)
 				continue
 			}
-			parallelRows(mBlocks, 2*m*kc*nc/mBlocks, func(b0, b1 int) {
-				wb := gemmBufPool.Get().(*gemmBuf)
-				defer gemmBufPool.Put(wb)
-				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, wb, b0, b1)
-			})
+			gemmPanelParallel(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, mBlocks)
 		}
 	}
 }
 
+// gemmPanelParallel fans the A row blocks of one (jc, pc) panel out over
+// goroutines, each with pooled packing panels. It lives in its own frame so
+// the closure's captures (including ep) heap-allocate only on this — already
+// allocating — parallel path, never at gemmBlocked entry.
+func gemmPanelParallel(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, ep Epilogue, applyEp bool, mBlocks int) {
+	parallelRows(mBlocks, 2*m*kc*nc/mBlocks, func(b0, b1 int) {
+		wb := gemmBufPool.Get().(*gemmBuf)
+		defer gemmBufPool.Put(wb)
+		gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, wb, b0, b1)
+	})
+}
+
 // gemmPanelRange processes A row blocks [b0, b1) of one (jc, pc) panel:
 // pack each A block into wb.ap and sweep the micro-kernel over the tile
-// grid. bp must hold the packed B panel for (jc, pc). Distinct block ranges
-// touch disjoint C rows, so ranges may run concurrently.
-func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, wb *gemmBuf, b0, b1 int) {
+// grid, applying ep (applyEp is set on the final depth block only) to each
+// tile right after its write-back. bp must hold the packed B panel for
+// (jc, pc). Distinct block ranges touch disjoint C rows, so ranges may run
+// concurrently.
+func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, ep Epilogue, applyEp bool, wb *gemmBuf, b0, b1 int) {
 	for ib := b0; ib < b1; ib++ {
 		ic := ib * blockMC
 		mc := min(blockMC, m-ic)
@@ -152,7 +204,11 @@ func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc
 			for ir := 0; ir < mc; ir += mr {
 				as := ap[(ir/mr)*kc*mr:][:kc*mr]
 				microKernel(kc, as, bs, &wb.acc)
-				writeTile(c, n, ic+ir, jc+jr, min(mr, mc-ir), min(nr, nc-jr), &wb.acc, alpha, betaEff)
+				mEff, nEff := min(mr, mc-ir), min(nr, nc-jr)
+				writeTile(c, n, ic+ir, jc+jr, mEff, nEff, &wb.acc, alpha, betaEff)
+				if applyEp {
+					epilogueTile(c, n, ic+ir, jc+jr, mEff, nEff, &ep)
+				}
 			}
 		}
 	}
