@@ -28,6 +28,7 @@ import (
 	"cbnet/internal/opt"
 	"cbnet/internal/rng"
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 	"cbnet/internal/train"
 )
 
@@ -588,4 +589,81 @@ func BenchmarkEngineRoutedEasy(b *testing.B) {
 func BenchmarkEngineAlwaysConvertEasy(b *testing.B) {
 	img := dataset.RenderSample(dataset.MNIST, 4, false, rng.New(34))
 	benchSingleStream(b, false, img)
+}
+
+// BenchmarkPlanExecuteTraced is BenchmarkPlanExecute with the observability
+// layer attached (span ring + step meter, the engine worker's production
+// wiring). Read the two together: the gap is the tracing overhead, bounded
+// by TestTracingOverhead.
+func BenchmarkPlanExecuteTraced(b *testing.B) {
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	ps, err := pipe.Plans(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps.EnableTracing(trace.NewRecorder(256), trace.NewMeter())
+	x := hostBatch(16)
+	dst := make([]int, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.InferInto(dst, x)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// TestTracingOverhead enforces the observability layer's hard budget:
+// fully traced plan execution must stay within 2% of untraced. Each
+// attempt benchmarks both variants back to back; wall-clock noise is
+// damped by passing on the first attempt that lands inside the budget
+// (the overhead itself is a few atomic stores per step, well under 1%).
+func TestTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarking pair takes seconds")
+	}
+	br := models.NewBranchyLeNet(rng.New(4), 0.05)
+	pipe := &core.Pipeline{
+		AE:         models.NewTableIAE(dataset.MNIST, rng.New(5)),
+		Classifier: models.ExtractLightweight(br),
+	}
+	plain, err := pipe.Plans(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := pipe.Plans(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced.EnableTracing(trace.NewRecorder(256), trace.NewMeter())
+	x := hostBatch(16)
+	dst := make([]int, 16)
+	run := func(ps *core.PlanSet) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ps.InferInto(dst, x)
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	plain.InferInto(dst, x) // warm both outside the measured windows
+	traced.InferInto(dst, x)
+
+	const budget = 1.02
+	var worst float64
+	for attempt := 0; attempt < 3; attempt++ {
+		p, tr := run(plain), run(traced)
+		ratio := tr / p
+		t.Logf("attempt %d: untraced %.0f ns/op, traced %.0f ns/op, ratio %.4f", attempt, p, tr, ratio)
+		if ratio <= budget {
+			return
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Errorf("traced execution consistently over budget: worst ratio %.4f > %.2f", worst, budget)
 }

@@ -9,9 +9,17 @@
 //	cbnet-bench -exp perf -json -           # perf snapshot to stdout
 //	cbnet-bench -exp perf -filter gemm      # only the GEMM benchmarks
 //	cbnet-bench -exp perf -diff BENCH_x.json  # fail on >20% regression vs snapshot
+//	cbnet-bench -exp profile               # per-plan-step time/GFLOPS tables
 //
-// Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, all
-// ("all" covers the paper experiments; perf runs only when asked).
+// Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, profile,
+// all ("all" covers the paper experiments; perf and profile run only when
+// asked).
+//
+// "profile" compiles every shipped model into an execution plan with
+// per-step tracing attached, runs warm batches, and prints a table per
+// model: per-step wall time, share of plan time, achieved GFLOPS against
+// the compile-time FLOP model, and arithmetic intensity — the offline twin
+// of the serving stack's /metrics cbnet_plan_step_* series.
 //
 // With -diff, the fresh capture is compared benchmark-by-benchmark against
 // the named baseline snapshot; any benchmark slower than the baseline by
@@ -34,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", perf, or all")
+		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", perf, profile, or all")
 		trainN = flag.Int("train", 2000, "training-set size per dataset")
 		testN  = flag.Int("test", 600, "test-set size per dataset")
 		seed   = flag.Uint64("seed", 42, "master seed")
@@ -47,6 +55,14 @@ func main() {
 		tol    = flag.Float64("tolerance", 0.2, "fractional ns/op slowdown tolerated by -diff before failing")
 	)
 	flag.Parse()
+
+	if *exp == "profile" {
+		if err := runProfile(os.Stdout, 16, 50); err != nil {
+			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *exp == "perf" {
 		// Load the baseline before capturing: -json may legitimately

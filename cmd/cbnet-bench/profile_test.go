@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunProfile runs the per-step profile sweep with a small iteration
+// count and checks every shipped model prints a table with the expected
+// columns.
+func TestRunProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runProfile(&buf, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range profiledModels() {
+		if !strings.Contains(out, m.name) {
+			t.Errorf("profile output missing model %q", m.name)
+		}
+	}
+	for _, col := range []string{"ms/exec", "%time", "GFLOPS", "FLOP/B", "MFLOP/img"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("profile output missing column %q", col)
+		}
+	}
+	if !strings.Contains(out, "conv1+relu1") {
+		t.Error("profile output missing fused step names")
+	}
+}

@@ -18,7 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,8 +47,18 @@ func main() {
 		queue     = flag.Int("queue-depth", 256, "per-route admission queue bound")
 		threshold = flag.Float64("hardness-threshold", engine.DefaultHardnessThreshold, "route images scoring at or above this to the full AE path")
 		noRoute   = flag.Bool("no-routing", false, "disable hardness routing (always convert)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug logs every request)")
+		pprofOn   = flag.Bool("pprof", false, "mount Go's profiler under /debug/pprof (exposes stacks and heap; keep off on shared networks)")
+		demo      = flag.Bool("demo", false, "serve an untrained pipeline without checkpoints — endpoint smoke tests only, predictions are meaningless")
 	)
 	flag.Parse()
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbnet-serve:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	cfg := engine.Config{
 		Workers:           *workers,
 		MaxBatch:          *maxBatch,
@@ -57,9 +67,28 @@ func main() {
 		HardnessThreshold: *threshold,
 		DisableRouting:    *noRoute,
 	}
-	if err := run(*ckpt, *name, *addr, *devName, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "cbnet-serve:", err)
+	opts := serve.Options{EnablePprof: *pprofOn, Logger: logger}
+	if err := run(*ckpt, *name, *addr, *devName, cfg, opts, *demo); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
+	}
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("log-level %q: %w", level, err)
+	}
+	ho := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("log-format %q: want text or json", format)
 	}
 }
 
@@ -87,9 +116,10 @@ func validateEngineConfig(cfg engine.Config) error {
 	return nil
 }
 
-// buildServer assembles the HTTP server from checkpoints; split from run so
+// buildServer assembles the HTTP server from checkpoints (or, in demo
+// mode, from freshly initialised untrained networks); split from run so
 // tests can exercise validation and loading without binding a socket.
-func buildServer(ckpt, name, devName string, cfg engine.Config) (*serve.Server, error) {
+func buildServer(ckpt, name, devName string, cfg engine.Config, opts serve.Options, demo bool) (*serve.Server, error) {
 	family, err := dataset.FamilyByName(name)
 	if err != nil {
 		return nil, err
@@ -104,19 +134,21 @@ func buildServer(ckpt, name, devName string, cfg engine.Config) (*serve.Server, 
 
 	r := rng.New(1)
 	branchy := models.NewBranchyLeNet(r, models.DefaultThreshold(family))
-	if err := models.LoadBranchy(filepath.Join(ckpt, "branchy.ck"), branchy); err != nil {
-		return nil, fmt.Errorf("loading branchy.ck: %w", err)
-	}
 	ae := models.NewTableIAE(family, r)
-	if err := models.LoadFile(filepath.Join(ckpt, "ae.ck"), ae.Net); err != nil {
-		return nil, fmt.Errorf("loading ae.ck: %w", err)
+	if !demo {
+		if err := models.LoadBranchy(filepath.Join(ckpt, "branchy.ck"), branchy); err != nil {
+			return nil, fmt.Errorf("loading branchy.ck: %w", err)
+		}
+		if err := models.LoadFile(filepath.Join(ckpt, "ae.ck"), ae.Net); err != nil {
+			return nil, fmt.Errorf("loading ae.ck: %w", err)
+		}
 	}
 	pipe := &core.Pipeline{AE: ae, Classifier: models.ExtractLightweight(branchy)}
-	return serve.NewWithEngine(pipe, engine.New(pipe, cfg), prof, family), nil
+	return serve.NewWithOptions(pipe, engine.New(pipe, cfg), prof, family, opts), nil
 }
 
-func run(ckpt, name, addr, devName string, cfg engine.Config) error {
-	srv, err := buildServer(ckpt, name, devName, cfg)
+func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options, demo bool) error {
+	srv, err := buildServer(ckpt, name, devName, cfg, opts, demo)
 	if err != nil {
 		return err
 	}
@@ -129,15 +161,25 @@ func run(ckpt, name, addr, devName string, cfg engine.Config) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	ecfg := srv.Engine.Config()
-	log.Printf("cbnet-serve: %s pipeline on %s (profile %s, %d workers/route, batch ≤%d, wait ≤%v)",
-		srv.Family, addr, srv.Profile.Name, ecfg.Workers, ecfg.MaxBatch, ecfg.MaxWait)
+	slog.Info("serving",
+		"dataset", srv.Family.String(),
+		"addr", addr,
+		"profile", srv.Profile.Name,
+		"workersPerRoute", ecfg.Workers,
+		"maxBatch", ecfg.MaxBatch,
+		"maxWait", ecfg.MaxWait,
+		"pprof", opts.EnablePprof,
+		"demo", demo)
+	if demo {
+		slog.Warn("demo mode: pipeline is untrained, predictions are meaningless")
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("cbnet-serve: shutting down")
+	slog.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

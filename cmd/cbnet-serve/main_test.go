@@ -10,6 +10,7 @@ import (
 	"cbnet/internal/engine"
 	"cbnet/internal/models"
 	"cbnet/internal/rng"
+	"cbnet/internal/serve"
 )
 
 // writeCheckpoints produces a minimal untrained checkpoint set so the serve
@@ -69,7 +70,7 @@ func TestValidateEngineConfig(t *testing.T) {
 func TestBuildServerFromCheckpoints(t *testing.T) {
 	dir := t.TempDir()
 	writeCheckpoints(t, dir, dataset.FashionMNIST)
-	srv, err := buildServer(dir, "fmnist", "RaspberryPi4", engine.Config{Workers: 1, HardnessThreshold: engine.DefaultHardnessThreshold})
+	srv, err := buildServer(dir, "fmnist", "RaspberryPi4", engine.Config{Workers: 1, HardnessThreshold: engine.DefaultHardnessThreshold}, serve.Options{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestBuildServerFromCheckpoints(t *testing.T) {
 }
 
 func TestBuildServerRejectsUnknownDataset(t *testing.T) {
-	if _, err := buildServer(t.TempDir(), "svhn", "RaspberryPi4", engine.Config{}); err == nil {
+	if _, err := buildServer(t.TempDir(), "svhn", "RaspberryPi4", engine.Config{}, serve.Options{}, false); err == nil {
 		t.Fatal("expected dataset error")
 	}
 }
@@ -91,7 +92,7 @@ func TestBuildServerRejectsUnknownDataset(t *testing.T) {
 func TestBuildServerRejectsUnknownDevice(t *testing.T) {
 	dir := t.TempDir()
 	writeCheckpoints(t, dir, dataset.MNIST)
-	if _, err := buildServer(dir, "mnist", "Cray-1", engine.Config{HardnessThreshold: engine.DefaultHardnessThreshold}); err == nil {
+	if _, err := buildServer(dir, "mnist", "Cray-1", engine.Config{HardnessThreshold: engine.DefaultHardnessThreshold}, serve.Options{}, false); err == nil {
 		t.Fatal("expected device error")
 	}
 }
@@ -99,13 +100,13 @@ func TestBuildServerRejectsUnknownDevice(t *testing.T) {
 func TestBuildServerRejectsBadEngineConfig(t *testing.T) {
 	dir := t.TempDir()
 	writeCheckpoints(t, dir, dataset.MNIST)
-	if _, err := buildServer(dir, "mnist", "RaspberryPi4", engine.Config{MaxBatch: -4, HardnessThreshold: engine.DefaultHardnessThreshold}); err == nil {
+	if _, err := buildServer(dir, "mnist", "RaspberryPi4", engine.Config{MaxBatch: -4, HardnessThreshold: engine.DefaultHardnessThreshold}, serve.Options{}, false); err == nil {
 		t.Fatal("expected engine-config error")
 	}
 }
 
 func TestBuildServerMissingCheckpoint(t *testing.T) {
-	_, err := buildServer(t.TempDir(), "mnist", "RaspberryPi4", engine.Config{HardnessThreshold: engine.DefaultHardnessThreshold})
+	_, err := buildServer(t.TempDir(), "mnist", "RaspberryPi4", engine.Config{HardnessThreshold: engine.DefaultHardnessThreshold}, serve.Options{}, false)
 	if err == nil {
 		t.Fatal("expected missing-checkpoint error")
 	}

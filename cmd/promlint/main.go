@@ -1,0 +1,19 @@
+// Command promlint reads a Prometheus text exposition on stdin and exits
+// non-zero if it is malformed. CI's bench-smoke job pipes the live
+// /metrics page through it to catch format regressions.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cbnet/internal/metrics"
+)
+
+func main() {
+	if err := metrics.LintExposition(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition OK")
+}

@@ -25,6 +25,7 @@ import (
 	"cbnet/internal/models"
 	"cbnet/internal/rng"
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 )
 
 // Result is one benchmark's measurement.
@@ -69,6 +70,7 @@ func registry() []benchDef {
 		{"rowops/sumrows/256x784", benchSumRows},
 		{"pipeline/classify-direct/batch16", benchClassifyDirect},
 		{"pipeline/infer/batch16", benchInfer},
+		{"pipeline/infer-traced/batch16", benchInferTraced},
 		{"pipeline/infer-scratch/batch16", benchInferScratch},
 		{"engine/throughput/routed", benchEngineThroughput},
 	}
@@ -285,6 +287,29 @@ func benchInfer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pipe.InferInto(dst, x)
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// benchInferTraced measures the full serving path on a plan set with the
+// observability layer attached — span ring plus step meter, exactly the
+// engine worker's wiring. Read against pipeline/infer/batch16: the gap is
+// the tracing overhead, which the regression test in the repo root bounds
+// at <2%.
+func benchInferTraced(b *testing.B) {
+	pipe := perfPipeline()
+	ps, err := pipe.Plans(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps.EnableTracing(trace.NewRecorder(256), trace.NewMeter())
+	x := perfBatch(16)
+	dst := make([]int, 16)
+	ps.InferInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.InferInto(dst, x)
 	}
 	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
 }

@@ -19,6 +19,7 @@ import (
 	"cbnet/internal/power"
 	"cbnet/internal/rng"
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 )
 
 // Pipeline is the CBNet inference path: every image is pushed through the
@@ -88,6 +89,30 @@ func (p *Pipeline) ClassifierPlans(batchCap int) (*PlanSet, error) {
 
 // BatchCap returns the largest batch the set's plans accept.
 func (ps *PlanSet) BatchCap() int { return ps.cap }
+
+// EnableTracing attaches a span recorder and/or step meter to every plan in
+// the set (see nn.Plan.EnableTracing). Call before the set's first
+// execution; either argument may be nil.
+func (ps *PlanSet) EnableTracing(rec *trace.Recorder, m *trace.Meter) {
+	if ps.ae != nil {
+		ps.ae.EnableTracing(rec, m)
+	}
+	if ps.cls != nil {
+		ps.cls.EnableTracing(rec, m)
+	}
+}
+
+// SetTraceID stamps subsequent spans from the set's plans with id — the
+// engine uses the current batch ID so plan-step spans correlate with the
+// batch's lifecycle spans.
+func (ps *PlanSet) SetTraceID(id uint64) {
+	if ps.ae != nil {
+		ps.ae.SetTraceID(id)
+	}
+	if ps.cls != nil {
+		ps.cls.SetTraceID(id)
+	}
+}
 
 // Convert runs the autoencoder plan, returning the converted images as a
 // plan-owned view valid until the set's next execution.

@@ -4,16 +4,15 @@ import (
 	"context"
 	"runtime/debug"
 	"testing"
-
-	"cbnet/internal/dataset"
-	"cbnet/internal/tensor"
 )
 
 // TestRunBatchZeroAlloc pins the plan-backed worker's steady state: once
-// its PlanSet is warm, running a full hard-route batch — assemble input,
-// execute the AE and classifier plans, argmax, answer every request —
-// performs zero heap allocations (GOMAXPROCS is pinned to 1 by
-// AllocsPerRun, the serial-kernel regime).
+// its PlanSet is warm, running a fully traced hard-route batch — assemble
+// input, emit queue/batch-form/execute/respond spans, execute the AE and
+// classifier plans with per-step span and meter recording, argmax, answer
+// every request — performs zero heap allocations (GOMAXPROCS is pinned to
+// 1 by AllocsPerRun, the serial-kernel regime). The worker comes from
+// e.newWorker, i.e. exactly the production wiring with tracing attached.
 func TestRunBatchZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
@@ -32,21 +31,16 @@ func TestRunBatchZeroAlloc(t *testing.T) {
 		}
 	}
 
-	ps, err := pipe.Plans(n)
-	if err != nil {
-		t.Fatal(err)
+	w := e.newWorker(e.hard, 99)
+	if w.ps == nil {
+		t.Fatal("test pipeline should plan-compile")
 	}
-	w := &worker{
-		ps:    ps,
-		buf:   make([]float32, n*dataset.Pixels),
-		preds: make([]int, n),
-	}
-	w.x = tensor.Tensor{Shape: []int{0, dataset.Pixels}}
 
 	batch := make([]*request, n)
 	for i := range batch {
-		batch[i] = &request{pixels: hardImage(uint64(i)), done: make(chan Result, 1)}
+		batch[i] = &request{id: uint64(i), pixels: hardImage(uint64(i)), done: make(chan Result, 1)}
 	}
+	batch[0].tOpen = 1 // exercise the batch-form span emission too
 	run := func() {
 		e.runBatch(e.hard, batch, w)
 		for _, r := range batch {

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 )
 
 // RouteName identifies one of the engine's two inference paths.
@@ -38,6 +40,14 @@ type worker struct {
 	buf   []float32
 	x     tensor.Tensor
 	preds []int
+
+	// rec is the worker's private span ring: runBatch writes the batch's
+	// lifecycle spans (queue, batch-form, execute, respond) into it, and
+	// the worker's plans append their per-step spans. Single-writer by
+	// construction — only this worker's goroutine emits.
+	rec *trace.Recorder
+	// routeName is the pre-interned route label for execute spans.
+	routeName trace.NameID
 }
 
 // route owns one admission queue, one batcher, and a pool of workers.
@@ -94,6 +104,7 @@ func (e *Engine) batchLoop(rt *route) {
 		if !ok {
 			return
 		}
+		first.tOpen = trace.Now()
 		batch := append(make([]*request, 0, e.cfg.MaxBatch), first)
 		timer.Reset(e.cfg.MaxWait)
 		sent, deadline := false, false
@@ -147,13 +158,31 @@ func (e *Engine) batchLoop(rt *route) {
 // batches run a flat precompiled step loop with zero heap allocations; a
 // pipeline the plan compiler cannot handle demotes the worker to a private
 // scratch arena running the dynamic path.
-func (e *Engine) workerLoop(rt *route) {
+func (e *Engine) workerLoop(rt *route, idx int) {
 	defer e.wg.Done()
+	w := e.newWorker(rt, idx)
+	if w.s != nil {
+		defer tensor.PutScratch(w.s)
+	}
+	for batch := range rt.batches {
+		e.runBatch(rt, batch, w)
+	}
+}
+
+// newWorker builds one worker's private state: batch buffers, a compiled
+// PlanSet (or the scratch fallback), and a registered span recorder wired
+// into both the lifecycle spans and the plans' per-step spans. The
+// zero-alloc regression test reuses this exact wiring, so the traced
+// production path is what gets measured.
+func (e *Engine) newWorker(rt *route, idx int) *worker {
 	w := &worker{
-		buf:   make([]float32, e.cfg.MaxBatch*dataset.Pixels),
-		preds: make([]int, e.cfg.MaxBatch),
+		buf:       make([]float32, e.cfg.MaxBatch*dataset.Pixels),
+		preds:     make([]int, e.cfg.MaxBatch),
+		rec:       trace.NewRecorder(e.cfg.TraceRing),
+		routeName: trace.Intern(string(rt.name)),
 	}
 	w.x = tensor.Tensor{Shape: []int{0, dataset.Pixels}}
+	e.registerTrack(fmt.Sprintf("%s/worker%d", rt.name, idx), w.rec)
 	// Easy-route workers never run the autoencoder, so they compile only
 	// the classifier plan and skip the AE plan's buffer entirely.
 	var ps *core.PlanSet
@@ -164,14 +193,12 @@ func (e *Engine) workerLoop(rt *route) {
 		ps, err = e.pipe.Plans(e.cfg.MaxBatch)
 	}
 	if err == nil {
+		ps.EnableTracing(w.rec, e.meter)
 		w.ps = ps
 	} else {
 		w.s = tensor.GetScratch()
-		defer tensor.PutScratch(w.s)
 	}
-	for batch := range rt.batches {
-		e.runBatch(rt, batch, w)
-	}
+	return w
 }
 
 // runBatch assembles the batch tensor in the worker's buffer, runs the
@@ -184,20 +211,44 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 	if w.s != nil {
 		w.s.Reset()
 	}
+	batchID := e.batchSeq.Add(1)
 	w.x.Shape[0] = n
 	w.x.Data = w.buf[:n*dataset.Pixels]
 	for i, r := range batch {
 		copy(w.x.Data[i*dataset.Pixels:(i+1)*dataset.Pixels], r.pixels)
 	}
 	preds := w.preds[:n]
+
+	// Lifecycle spans: per-request queue spans (admission → execution
+	// start, Ref = batch ID for correlation) and the batcher's coalescing
+	// window, all emitted here because the worker is the ring's single
+	// writer.
+	t0 := trace.Now()
+	for _, r := range batch {
+		w.rec.Emit(trace.Span{ID: r.id, Ref: batchID, Kind: trace.KindQueue,
+			Name: w.routeName, Batch: n, Start: r.tEnq, Dur: t0 - r.tEnq})
+	}
+	if open := batch[0].tOpen; open != 0 {
+		w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindBatchForm,
+			Name: w.routeName, Batch: n, Start: open, Dur: t0 - open})
+	}
+	rt.stats.queued.Add(-int64(n))
+	if w.ps != nil {
+		w.ps.SetTraceID(batchID)
+	}
+
 	start := time.Now()
 	logits, converted := rt.infer(w, &w.x)
 	inferDur := time.Since(start)
 	logits.ArgMaxRows(preds)
+	tExec := trace.Now()
+	w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindExecute,
+		Name: w.routeName, Batch: n, Start: t0, Dur: tExec - t0})
 
 	rt.stats.observeBatch(n, inferDur)
 	for i, r := range batch {
 		res := Result{
+			RequestID: r.id,
 			Class:     preds[i],
 			Route:     string(rt.name),
 			Hardness:  r.hardness,
@@ -212,4 +263,7 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 		e.stats.completed.Inc()
 		r.done <- res
 	}
+	rt.stats.inflight.Add(-int64(n))
+	w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindRespond,
+		Name: w.routeName, Batch: n, Start: tExec, Dur: trace.Now() - tExec})
 }

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 )
 
 // ErrOverloaded is returned by Submit when the target route's admission
@@ -71,6 +73,11 @@ type Config struct {
 	// DisableRouting forces every request down the full AE+classifier
 	// path (the paper's always-convert baseline).
 	DisableRouting bool
+	// TraceRing is the capacity of each worker's span ring buffer
+	// (recent spans served by /debug/trace). Default 256. Tracing is
+	// always on — span emission is a handful of atomic stores per plan
+	// step, bounded at <2% of plan execution by the regression tests.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.HardnessThreshold == 0 {
 		c.HardnessThreshold = DefaultHardnessThreshold
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -107,6 +117,9 @@ type Request struct {
 
 // Result is the engine's answer for one request.
 type Result struct {
+	// RequestID is the engine-assigned correlation ID; lifecycle spans in
+	// /debug/trace carry it, and the serve layer logs it per request.
+	RequestID uint64
 	// Class is the predicted label.
 	Class int
 	// Route names the path taken ("easy" or "hard").
@@ -126,11 +139,16 @@ type Result struct {
 
 // request is the internal unit flowing through a route.
 type request struct {
+	id            uint64
 	pixels        []float32
 	wantConverted bool
 	hardness      float64
 	enqueued      time.Time
-	done          chan Result // buffered(1): workers never block on delivery
+	tEnq          int64 // trace.Now() at admission, for the queue span
+	tOpen         int64 // trace.Now() when the batcher opened this batch
+	// (stamped on the batch's first request only); the worker
+	// turns it into the batch-form span.
+	done chan Result // buffered(1): workers never block on delivery
 }
 
 // Engine coalesces single-image requests into batched forward passes.
@@ -141,9 +159,34 @@ type Engine struct {
 	hard  *route
 	stats *engineStats
 
+	// meter aggregates per-plan-step counters across all workers (the
+	// cbnet_plan_step_* series on /metrics); reqID and batchSeq issue the
+	// correlation IDs carried by lifecycle spans.
+	meter    *trace.Meter
+	reqID    atomic.Uint64
+	batchSeq atomic.Uint64
+
+	// trackMu guards tracks, the registry of per-goroutine span
+	// recorders drained by /debug/trace. Workers register on startup
+	// (cold path).
+	trackMu sync.Mutex
+	tracks  []traceTrack
+
 	mu     sync.RWMutex // guards closed and the queue-close handoff
 	closed bool
 	wg     sync.WaitGroup // batchers + workers
+}
+
+// traceTrack pairs a recorder with its display name.
+type traceTrack struct {
+	name string
+	rec  *trace.Recorder
+}
+
+func (e *Engine) registerTrack(name string, rec *trace.Recorder) {
+	e.trackMu.Lock()
+	e.tracks = append(e.tracks, traceTrack{name: name, rec: rec})
+	e.trackMu.Unlock()
 }
 
 // New builds and starts an engine over a trained pipeline.
@@ -159,6 +202,7 @@ func New(pipe *core.Pipeline, cfg Config) *Engine {
 		cfg:   cfg,
 		pipe:  pipe,
 		stats: newEngineStats(cfg),
+		meter: trace.NewMeter(),
 	}
 	e.easy = e.newRoute(RouteEasy, func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 		if w.ps != nil {
@@ -190,7 +234,7 @@ func (e *Engine) startRoute(rt *route, workers int) {
 	go e.batchLoop(rt)
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
-		go e.workerLoop(rt)
+		go e.workerLoop(rt, i)
 	}
 }
 
@@ -207,6 +251,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		return Result{}, fmt.Errorf("engine: got %d pixels, want %d", len(req.Pixels), dataset.Pixels)
 	}
 	r := &request{
+		id:            e.reqID.Add(1),
 		pixels:        req.Pixels,
 		wantConverted: req.IncludeConverted,
 		done:          make(chan Result, 1),
@@ -219,8 +264,11 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		return Result{}, ErrClosed
 	}
 	r.enqueued = time.Now()
+	r.tEnq = trace.Now()
 	select {
 	case rt.queue <- r:
+		rt.stats.queued.Inc()
+		rt.stats.inflight.Inc()
 		e.mu.RUnlock()
 	default:
 		e.mu.RUnlock()

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cbnet/internal/metrics"
+	"cbnet/internal/trace"
+)
+
+// drive pushes a few requests down both routes so every observability
+// surface has data.
+func drive(t *testing.T, e *Engine) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		for _, img := range [][]float32{easyImage(uint64(i)), hardImage(uint64(i))} {
+			if _, err := e.Submit(context.Background(), Request{Pixels: img}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	e := New(testPipeline(), Config{MaxBatch: 8, Workers: 1})
+	defer e.Close()
+	drive(t, e)
+
+	var buf bytes.Buffer
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// The whole page must survive the exposition linter.
+	if err := metrics.LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, out)
+	}
+
+	// Engine-level and per-route series are present.
+	for _, want := range []string{
+		"cbnet_uptime_seconds",
+		"cbnet_requests_submitted_total 8",
+		"cbnet_requests_completed_total 8",
+		`cbnet_route_images_total{route="easy"}`,
+		`cbnet_route_images_total{route="hard"}`,
+		`cbnet_route_inflight{route="hard"} 0`,
+		`cbnet_route_queued{route="hard"} 0`,
+		`cbnet_queue_wait_seconds_bucket{route="easy",le="+Inf"}`,
+		`cbnet_infer_seconds_count{route="hard"}`,
+		`cbnet_batch_size_sum{route="hard"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Per-plan-step series exist for both plans with plan/step labels.
+	for _, want := range []string{
+		"cbnet_plan_step_seconds_total{plan=",
+		"cbnet_plan_step_executions_total{plan=",
+		"cbnet_plan_step_flops_total{plan=",
+		"cbnet_plan_step_gflops{plan=",
+		"cbnet_plan_step_arithmetic_intensity{plan=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing per-step series %q", want)
+		}
+	}
+}
+
+func TestRequestIDsAndTraceTracks(t *testing.T) {
+	e := New(testPipeline(), Config{MaxBatch: 8, Workers: 1})
+	defer e.Close()
+
+	res, err := e.Submit(context.Background(), Request{Pixels: hardImage(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestID == 0 {
+		t.Error("result carries no request ID")
+	}
+	res2, err := e.Submit(context.Background(), Request{Pixels: hardImage(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RequestID == res.RequestID {
+		t.Error("request IDs not unique")
+	}
+
+	tracks := e.TraceTracks()
+	if len(tracks) == 0 {
+		t.Fatal("no trace tracks registered")
+	}
+	kinds := map[trace.Kind]bool{}
+	var sawReqID bool
+	for _, tr := range tracks {
+		for _, s := range tr.Spans {
+			kinds[s.Kind] = true
+			if s.Kind == trace.KindQueue && s.ID == res.RequestID {
+				sawReqID = true
+			}
+		}
+	}
+	for _, k := range []trace.Kind{trace.KindQueue, trace.KindExecute, trace.KindRespond, trace.KindPlanStep} {
+		if !kinds[k] {
+			t.Errorf("no %v span recorded", k)
+		}
+	}
+	if !sawReqID {
+		t.Errorf("no queue span carries request ID %d", res.RequestID)
+	}
+
+	var buf bytes.Buffer
+	if err := e.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace dump is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace dump has no events")
+	}
+}
+
+func TestStatsGaugesAndP95(t *testing.T) {
+	e := New(testPipeline(), Config{MaxBatch: 8, Workers: 1})
+	defer e.Close()
+	drive(t, e)
+
+	snap := e.Stats()
+	if snap.UptimeSeconds <= 0 {
+		t.Error("uptime not positive")
+	}
+	for _, r := range snap.Routes {
+		if r.Queued != 0 || r.InFlight != 0 {
+			t.Errorf("route %s idle but queued=%d inflight=%d", r.Route, r.Queued, r.InFlight)
+		}
+		if r.Images > 0 {
+			lat := r.QueueWaitMS
+			if lat.P95 < lat.P50 || lat.P99 < lat.P95 {
+				t.Errorf("route %s quantiles not ordered: %+v", r.Route, lat)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cbnet/internal/metrics"
+)
+
+// WritePrometheus renders the engine's live metrics in the Prometheus text
+// exposition format (version 0.0.4). The format is pinned by the golden
+// test in internal/metrics and linted end-to-end by the serve tests and
+// CI's scrape job. Histograms observed in milliseconds are rescaled to
+// base-unit seconds on the way out.
+func (e *Engine) WritePrometheus(w io.Writer) error {
+	p := metrics.NewPromWriter(w)
+
+	p.Gauge("cbnet_uptime_seconds", "Seconds since the engine started.",
+		nil, time.Since(e.stats.start).Seconds())
+	p.Counter("cbnet_requests_submitted_total", "Requests admitted.",
+		nil, float64(e.stats.submitted.Value()))
+	p.Counter("cbnet_requests_completed_total", "Requests answered.",
+		nil, float64(e.stats.completed.Value()))
+	p.Counter("cbnet_requests_rejected_total", "Requests shed at admission (queue full).",
+		nil, float64(e.stats.rejected.Value()))
+	p.Counter("cbnet_requests_abandoned_total", "Requests whose caller context expired after admission.",
+		nil, float64(e.stats.abandoned.Value()))
+
+	routes := e.liveRoutes()
+	var images, batches, queued, inflight, depth []metrics.VecSample
+	var queueWait, infer, sizes []metrics.HistSample
+	for _, rt := range routes {
+		ls := metrics.Labels{metrics.L("route", string(rt.name))}
+		rs := rt.stats
+		images = append(images, metrics.VecSample{Labels: ls, Value: float64(rs.images.Value())})
+		batches = append(batches, metrics.VecSample{Labels: ls, Value: float64(rs.batches.Value())})
+		queued = append(queued, metrics.VecSample{Labels: ls, Value: float64(rs.queued.Value())})
+		inflight = append(inflight, metrics.VecSample{Labels: ls, Value: float64(rs.inflight.Value())})
+		depth = append(depth, metrics.VecSample{Labels: ls, Value: float64(len(rt.queue))})
+		queueWait = append(queueWait, metrics.HistSample{Labels: ls, Hist: rs.queueWaitMS, Scale: 1e-3})
+		infer = append(infer, metrics.HistSample{Labels: ls, Hist: rs.inferMS, Scale: 1e-3})
+		sizes = append(sizes, metrics.HistSample{Labels: ls, Hist: rs.batchSizes})
+	}
+	p.CounterVec("cbnet_route_images_total", "Images inferred per route.", images)
+	p.CounterVec("cbnet_route_batches_total", "Micro-batches executed per route.", batches)
+	p.GaugeVec("cbnet_route_queued", "Admitted requests whose batch has not started executing.", queued)
+	p.GaugeVec("cbnet_route_inflight", "Admitted requests not yet answered.", inflight)
+	p.GaugeVec("cbnet_route_queue_depth", "Requests sitting in the admission channel.", depth)
+	p.HistogramVec("cbnet_queue_wait_seconds", "Admission-to-execution wait per request.", queueWait)
+	p.HistogramVec("cbnet_infer_seconds", "Forward-pass time per micro-batch.", infer)
+	p.HistogramVec("cbnet_batch_size", "Micro-batch size distribution.", sizes)
+
+	// Per-plan-step series from the trace meter: cumulative counters plus
+	// derived throughput gauges. The step label carries the step's index
+	// so dashboards sort in execution order without string tricks.
+	steps := e.meter.Snapshot()
+	var secs, execs, imgs, flops, bytes, gflops, intensity []metrics.VecSample
+	for _, s := range steps {
+		ls := metrics.Labels{
+			metrics.L("plan", s.Plan),
+			metrics.L("step", fmt.Sprintf("%02d-%s", s.Index, s.Step)),
+		}
+		secs = append(secs, metrics.VecSample{Labels: ls, Value: float64(s.Nanos) / 1e9})
+		execs = append(execs, metrics.VecSample{Labels: ls, Value: float64(s.Execs)})
+		imgs = append(imgs, metrics.VecSample{Labels: ls, Value: float64(s.Images)})
+		flops = append(flops, metrics.VecSample{Labels: ls, Value: float64(s.FLOPs)})
+		bytes = append(bytes, metrics.VecSample{Labels: ls, Value: float64(s.Bytes)})
+		gflops = append(gflops, metrics.VecSample{Labels: ls, Value: s.GFLOPS()})
+		intensity = append(intensity, metrics.VecSample{Labels: ls, Value: s.Intensity()})
+	}
+	p.CounterVec("cbnet_plan_step_seconds_total", "Cumulative wall time per compiled plan step.", secs)
+	p.CounterVec("cbnet_plan_step_executions_total", "Executions per compiled plan step.", execs)
+	p.CounterVec("cbnet_plan_step_images_total", "Images processed per compiled plan step.", imgs)
+	p.CounterVec("cbnet_plan_step_flops_total", "Model FLOPs executed per compiled plan step.", flops)
+	p.CounterVec("cbnet_plan_step_bytes_total", "Modelled bytes moved per compiled plan step.", bytes)
+	p.GaugeVec("cbnet_plan_step_gflops", "Achieved GFLOPS per compiled plan step (cumulative FLOPs over cumulative time).", gflops)
+	p.GaugeVec("cbnet_plan_step_arithmetic_intensity", "FLOPs per byte moved per compiled plan step.", intensity)
+
+	return p.Err()
+}
+
+// liveRoutes returns the routes that actually serve traffic — with routing
+// disabled the easy route is never started, so its series are omitted
+// rather than frozen at zero.
+func (e *Engine) liveRoutes() []*route {
+	if e.cfg.DisableRouting {
+		return []*route{e.hard}
+	}
+	return []*route{e.easy, e.hard}
+}

@@ -21,6 +21,8 @@ type engineStats struct {
 type routeStats struct {
 	images      metrics.Counter
 	batches     metrics.Counter
+	queued      metrics.Gauge // admitted, batch not yet executing
+	inflight    metrics.Gauge // admitted, result not yet delivered
 	batchSizes  *metrics.Histogram
 	queueWaitMS *metrics.Histogram
 	inferMS     *metrics.Histogram
@@ -69,19 +71,29 @@ type RouteSnapshot struct {
 	BatchSizeHist []metrics.Bucket `json:"batchSizeHist"`
 	QueueDepth    int              `json:"queueDepth"`
 	QueueCap      int              `json:"queueCap"`
-	QueueWaitMS   LatencySnapshot  `json:"queueWaitMs"`
-	InferMS       LatencySnapshot  `json:"inferMs"`
+	// Queued counts admitted requests whose batch has not started
+	// executing; InFlight counts admitted requests not yet answered.
+	Queued      int64           `json:"queued"`
+	InFlight    int64           `json:"inFlight"`
+	QueueWaitMS LatencySnapshot `json:"queueWaitMs"`
+	InferMS     LatencySnapshot `json:"inferMs"`
 }
 
 // LatencySnapshot summarises one latency histogram.
 type LatencySnapshot struct {
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
 	P99  float64 `json:"p99"`
 }
 
 func latencySnapshot(h *metrics.Histogram) LatencySnapshot {
-	return LatencySnapshot{Mean: h.Mean(), P50: h.Quantile(0.5), P99: h.Quantile(0.99)}
+	return LatencySnapshot{
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.5),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+	}
 }
 
 // Snapshot is the engine-wide stats view served by /stats.
@@ -119,6 +131,8 @@ func (e *Engine) Stats() Snapshot {
 			BatchSizeHist: rs.batchSizes.Buckets(),
 			QueueDepth:    len(rt.queue),
 			QueueCap:      cap(rt.queue),
+			Queued:        rs.queued.Value(),
+			InFlight:      rs.inflight.Value(),
 			QueueWaitMS:   latencySnapshot(rs.queueWaitMS),
 			InferMS:       latencySnapshot(rs.inferMS),
 		}

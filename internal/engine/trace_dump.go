@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"io"
+
+	"cbnet/internal/trace"
+)
+
+// TraceTracks snapshots every registered span ring — one track per worker
+// goroutine, carrying its recent lifecycle and plan-step spans.
+func (e *Engine) TraceTracks() []trace.Track {
+	e.trackMu.Lock()
+	regs := make([]traceTrack, len(e.tracks))
+	copy(regs, e.tracks)
+	e.trackMu.Unlock()
+	out := make([]trace.Track, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, trace.Track{Name: r.name, Spans: r.rec.Snapshot()})
+	}
+	return out
+}
+
+// WriteTrace dumps the recent spans of every worker as Chrome trace-event
+// JSON — load it in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	return trace.WriteChrome(w, e.TraceTracks())
+}

@@ -1,0 +1,296 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-exposition document and returns
+// an error describing the first malformed construct. It is the shared
+// checker behind the golden-format test, the serve-layer scrape round-trip
+// test, and the CI smoke job (cmd/promlint). Checks:
+//
+//   - every non-comment line is a well-formed sample (name, optional
+//     label set, float-parsable value, optional timestamp);
+//   - metric and label names match the Prometheus grammar;
+//   - samples of a TYPE-declared family appear after their TYPE line and
+//     use the declared family name (histograms may append _bucket, _sum,
+//     _count);
+//   - histogram bucket `le` bounds are strictly increasing per series,
+//     cumulative counts are non-decreasing, the +Inf bucket exists, and
+//     _count equals the +Inf bucket's value.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	// histogram series state, keyed by metric name + rendered non-le labels.
+	type histSeries struct {
+		lastLe  float64
+		lastCum float64
+		hasInf  bool
+		infCum  float64
+		started bool
+	}
+	hists := map[string]*histSeries{}
+	counts := map[string]float64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := familyOf(name, types)
+		if typ, ok := types[family]; ok {
+			if typ == "histogram" {
+				key := family + "|" + renderLabelsExcept(labels, "le")
+				hs := hists[key]
+				if hs == nil {
+					hs = &histSeries{}
+					hists[key] = hs
+				}
+				switch suffix {
+				case "_bucket":
+					le, ok := labelValue(labels, "le")
+					if !ok {
+						return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+					}
+					bound, err := parseFloat(le)
+					if err != nil {
+						return fmt.Errorf("line %d: bucket le %q: %v", lineNo, le, err)
+					}
+					if hs.started && bound <= hs.lastLe {
+						return fmt.Errorf("line %d: %s le %v not increasing (previous %v)", lineNo, name, bound, hs.lastLe)
+					}
+					if hs.started && value < hs.lastCum {
+						return fmt.Errorf("line %d: %s cumulative count %v decreased (previous %v)", lineNo, name, value, hs.lastCum)
+					}
+					hs.started, hs.lastLe, hs.lastCum = true, bound, value
+					if math.IsInf(bound, 1) {
+						hs.hasInf, hs.infCum = true, value
+					}
+				case "_count":
+					counts[key] = value
+				case "_sum":
+					// any float is fine
+				default:
+					return fmt.Errorf("line %d: histogram family %s has plain sample %s", lineNo, family, name)
+				}
+			} else if suffix != "" {
+				return fmt.Errorf("line %d: %s family %s has suffixed sample %s", lineNo, types[family], family, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, hs := range hists {
+		if !hs.hasInf {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != hs.infCum {
+			return fmt.Errorf("histogram series %s: _count %v != +Inf bucket %v", key, c, hs.infCum)
+		}
+	}
+	return nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func lintComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("invalid metric name %q in HELP", fields[2])
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its TYPE-declared family, stripping
+// histogram suffixes when the base family is a histogram.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+func parseSample(line string) (name string, labels Labels, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q needs value [timestamp], got %q", name, rest)
+	}
+	value, err = parseFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s value %q: %v", name, fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s timestamp %q: %v", name, fields[1], err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) (Labels, error) {
+	var out Labels
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '=' in %q", s[i:])
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("label %s value unterminated", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %s value ends in backslash", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s has invalid escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, L(name, val.String()))
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s[i:])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func labelValue(ls Labels, name string) (string, bool) {
+	for _, l := range ls {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func renderLabelsExcept(ls Labels, skip string) string {
+	kept := make([]string, 0, len(ls))
+	for _, l := range ls {
+		if l.Name == skip {
+			continue
+		}
+		kept = append(kept, l.Name+"="+l.Value)
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}

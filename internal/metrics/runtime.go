@@ -32,6 +32,27 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an instantaneous level that can move both ways — queue depth,
+// in-flight requests. All operations are lock-free atomics.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram accumulates float64 observations into fixed buckets. Bucket i
 // counts observations v with v <= Bounds[i] (and above the previous bound);
 // one extra overflow bucket catches everything larger than the last bound.

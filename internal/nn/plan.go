@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
 )
 
 // The plan compiler: ahead-of-time inference compilation for Sequential
@@ -62,6 +63,15 @@ type planStep struct {
 
 	// conv-only scratch offsets into Plan.buf.
 	colOff, gemmOff int
+
+	// Compile-time cost model, filled by annotateCosts: modelled
+	// floating-point work and activation traffic per sample, plus the
+	// per-execution parameter traffic that is independent of batch size.
+	// Spans and the meter derive achieved GFLOPS and arithmetic intensity
+	// from these (see StepInfo for the model's definition).
+	flopsPerImg int64
+	ioPerImg    int64
+	fixedBytes  int64
 }
 
 // Plan is a compiled inference program for one Sequential at a fixed batch
@@ -77,6 +87,15 @@ type Plan struct {
 	buf      []float32
 	pack     tensor.PackScratch // plan-owned GEMM packing panels
 	outHdr   tensor.Tensor      // reusable view header returned by Execute
+
+	// Tracing, attached by EnableTracing. All nil/empty by default, in
+	// which case Execute pays one branch per step and nothing else. Like
+	// the plan's buffers, the recorder and traceID belong to the plan's
+	// single executing goroutine; the StepStats are shared, atomic.
+	rec     *trace.Recorder
+	stats   []*trace.StepStats // parallel to steps; nil entries allowed
+	nameIDs []trace.NameID     // parallel to steps
+	traceID uint64             // correlation ID stamped on emitted spans
 }
 
 // Compile builds the static execution plan of net for batches of up to
@@ -195,7 +214,72 @@ func Compile(net *Sequential, batchCap int) (*Plan, error) {
 	}
 	p.outW = width
 	p.planBuffer()
+	p.annotateCosts()
 	return p, nil
+}
+
+// actFLOPs is the modelled per-element cost of a fused activation.
+func actFLOPs(act tensor.EpilogueAct) int64 {
+	switch act {
+	case tensor.EpActReLU:
+		return 1
+	case tensor.EpActSigmoid:
+		return 4 // negate, exp, add, divide
+	}
+	return 0
+}
+
+// annotateCosts fills each step's compile-time FLOP/byte model. Shapes are
+// fully known after shape inference, so the model costs nothing at run
+// time; Execute scales the per-image figures by the live batch size.
+//
+// The byte model counts activation traffic per image (reads of the step's
+// input, writes of its output, and for convolutions the im2col column
+// matrix written then re-read and the channel-major GEMM output written
+// then regrouped) plus the parameter bytes read once per execution. It is
+// a traffic model, not a cache simulation: it is meant to rank steps by
+// arithmetic intensity, exactly how the paper's §IV ledger attributes
+// latency to stages.
+func (p *Plan) annotateCosts() {
+	const f32 = 4 // bytes per element
+	for i := range p.steps {
+		st := &p.steps[i]
+		softmaxFLOPs := int64(0)
+		if st.softmax {
+			softmaxFLOPs = 5 * int64(st.outW) // max, sub, exp, sum, div
+		}
+		switch st.op {
+		case opDense:
+			d := st.dense
+			st.flopsPerImg = 2*int64(d.In)*int64(d.Out) + // GEMM
+				int64(d.Out) + // bias
+				actFLOPs(st.act)*int64(d.Out) + softmaxFLOPs
+			st.ioPerImg = f32 * int64(d.In+d.Out)
+			st.fixedBytes = f32 * int64(d.In*d.Out+d.Out)
+		case opConv:
+			c := st.conv
+			colRows, colCols := int64(c.Dims.ColRows()), int64(c.Dims.ColCols())
+			outEls := int64(c.OutC) * colCols
+			st.flopsPerImg = 2*colRows*colCols*int64(c.OutC) + // GEMM
+				outEls + // bias
+				actFLOPs(st.act)*outEls
+			// input read + col written and re-read + GEMM out written,
+			// re-read, and regrouped into the output slot.
+			st.ioPerImg = f32 * (int64(c.InSize()) + 2*colRows*colCols + 3*outEls)
+			st.fixedBytes = f32 * (int64(c.OutC)*colRows + int64(c.OutC))
+		case opPool:
+			pl := st.pool
+			st.flopsPerImg = int64(st.outW) * int64(pl.Pool) * int64(pl.Pool) // window compares
+			st.ioPerImg = f32 * int64(pl.InSize()+st.outW)
+		case opAct:
+			perEl := actFLOPs(st.act)
+			if perEl == 0 && !st.softmax {
+				perEl = 1 // pure copy step: count the move
+			}
+			st.flopsPerImg = perEl*int64(st.outW) + softmaxFLOPs
+			st.ioPerImg = f32 * 2 * int64(st.outW)
+		}
+	}
 }
 
 // planBuffer assigns every step its fixed buffer offsets: two ping-pong
@@ -243,6 +327,68 @@ func (p *Plan) InWidth() int { return p.inW }
 // OutWidth returns the per-sample output width.
 func (p *Plan) OutWidth() int { return p.outW }
 
+// StepInfo describes one compiled step's static shape and cost model for
+// introspection: the profiling table, the /metrics per-step series, and
+// tests. FLOPsPerImage counts GEMM multiply-adds as 2 FLOPs plus bias and
+// activation work; BytesPerImage counts the step's activation traffic
+// (including conv im2col and regroup copies); FixedBytes is the parameter
+// traffic paid once per execution regardless of batch size.
+type StepInfo struct {
+	Index         int
+	Name          string
+	Op            string // "dense", "conv", "pool", "act"
+	OutWidth      int
+	FLOPsPerImage int64
+	BytesPerImage int64
+	FixedBytes    int64
+}
+
+// Steps returns the compiled steps' static descriptions in execution order.
+func (p *Plan) Steps() []StepInfo {
+	ops := map[planOp]string{opDense: "dense", opConv: "conv", opPool: "pool", opAct: "act"}
+	out := make([]StepInfo, len(p.steps))
+	for i := range p.steps {
+		st := &p.steps[i]
+		out[i] = StepInfo{
+			Index:         i,
+			Name:          st.name,
+			Op:            ops[st.op],
+			OutWidth:      st.outW,
+			FLOPsPerImage: st.flopsPerImg,
+			BytesPerImage: st.ioPerImg,
+			FixedBytes:    st.fixedBytes,
+		}
+	}
+	return out
+}
+
+// EnableTracing attaches a span recorder and/or a cumulative meter to the
+// plan. Either may be nil. The recorder must belong to the same single
+// goroutine that calls Execute (engine workers own one each); meter series
+// are shared and atomic, so plans compiled for the same network on
+// different workers fold into one per-step series. Call before serving —
+// attachment interns names and allocates; Execute afterwards does not.
+func (p *Plan) EnableTracing(rec *trace.Recorder, m *trace.Meter) {
+	p.rec = rec
+	if p.nameIDs == nil {
+		p.nameIDs = make([]trace.NameID, len(p.steps))
+		for i := range p.steps {
+			p.nameIDs[i] = trace.Intern(p.steps[i].name)
+		}
+	}
+	if m != nil {
+		p.stats = make([]*trace.StepStats, len(p.steps))
+		for i := range p.steps {
+			st := &p.steps[i]
+			p.stats[i] = m.Step(p.name, st.name, i, st.flopsPerImg, st.ioPerImg, st.fixedBytes)
+		}
+	}
+}
+
+// SetTraceID stamps subsequent Execute calls' spans with a correlation ID
+// (the engine uses its batch ID). Single-goroutine, like Execute.
+func (p *Plan) SetTraceID(id uint64) { p.traceID = id }
+
 // StepNames returns the fused step labels in execution order, e.g.
 // ["conv1+relu1" "pool1" "fc1+relu" "fc2+sm"], for introspection and tests.
 func (p *Plan) StepNames() []string {
@@ -285,11 +431,16 @@ func (p *Plan) Execute(dst, x *tensor.Tensor) *tensor.Tensor {
 		return p.view(n, cur)
 	}
 	last := len(p.steps) - 1
+	traced := p.rec != nil || p.stats != nil
+	var t0 int64
 	for i := range p.steps {
 		st := &p.steps[i]
 		out := p.buf[st.outOff : st.outOff+n*st.outW]
 		if i == last && dst != nil {
 			out = dst.Data[:n*st.outW]
+		}
+		if traced {
+			t0 = trace.Now()
 		}
 		switch st.op {
 		case opDense:
@@ -300,6 +451,25 @@ func (p *Plan) Execute(dst, x *tensor.Tensor) *tensor.Tensor {
 			p.runPool(st, cur, out, n)
 		case opAct:
 			runAct(st, cur, out, n)
+		}
+		if traced {
+			dur := trace.Now() - t0
+			if p.stats != nil {
+				p.stats[i].Observe(dur, n)
+			}
+			if p.rec != nil {
+				p.rec.Emit(trace.Span{
+					ID:    p.traceID,
+					Kind:  trace.KindPlanStep,
+					Name:  p.nameIDs[i],
+					Step:  i,
+					Batch: n,
+					Start: t0,
+					Dur:   dur,
+					FLOPs: int64(n) * st.flopsPerImg,
+					Bytes: int64(n)*st.ioPerImg + st.fixedBytes,
+				})
+			}
 		}
 		cur = out
 	}

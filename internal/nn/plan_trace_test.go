@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
+)
+
+// traceTestNet builds a small conv→pool→dense→softmax network covering
+// every step kind the compiler emits.
+func traceTestNet(t *testing.T) (*Sequential, int) {
+	t.Helper()
+	r := rng.New(21)
+	net := NewSequential("trace-net",
+		MustConv2D("conv1", 1, 12, 12, 4, 3, 3, 1, 0, r), // 1×12×12 → 4×10×10
+		NewReLU("relu1"),
+		MustMaxPool2D("pool1", 4, 10, 10, 2, 2), // → 4×5×5
+		NewDense("fc1", 4*5*5, 32, r),
+		NewReLU("relu2"),
+		NewDense("fc2", 32, 10, r),
+		NewSoftmax("sm"),
+	)
+	return net, 12 * 12
+}
+
+func TestPlanStepCostModel(t *testing.T) {
+	net, inW := traceTestNet(t)
+	p, err := Compile(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := p.Steps()
+	if len(steps) != 4 { // conv1+relu1 | pool1 | fc1+relu2 | fc2+sm
+		t.Fatalf("%d steps: %v", len(steps), p.StepNames())
+	}
+
+	// Dense step FLOPs are exact: 2·In·Out + Out bias + Out relu.
+	fc1 := steps[2]
+	if fc1.Op != "dense" || fc1.Name != "fc1+relu2" {
+		t.Fatalf("step 2 = %+v", fc1)
+	}
+	wantFC1 := int64(2*100*32 + 32 + 32)
+	if fc1.FLOPsPerImage != wantFC1 {
+		t.Fatalf("fc1 FLOPs/img = %d, want %d", fc1.FLOPsPerImage, wantFC1)
+	}
+	if fc1.FixedBytes != 4*(100*32+32) {
+		t.Fatalf("fc1 fixed bytes = %d", fc1.FixedBytes)
+	}
+	if fc1.BytesPerImage != 4*(100+32) {
+		t.Fatalf("fc1 io bytes = %d", fc1.BytesPerImage)
+	}
+
+	// Conv step: 2·(InC·KH·KW)·(OutH·OutW)·OutC + bias + relu.
+	conv := steps[0]
+	wantConv := int64(2*9*100*4 + 400 + 400)
+	if conv.FLOPsPerImage != wantConv {
+		t.Fatalf("conv FLOPs/img = %d, want %d", conv.FLOPsPerImage, wantConv)
+	}
+
+	// The fc2+sm step carries the softmax surcharge.
+	fc2 := steps[3]
+	wantFC2 := int64(2*32*10+10) + 5*10
+	if fc2.FLOPsPerImage != wantFC2 {
+		t.Fatalf("fc2 FLOPs/img = %d, want %d", fc2.FLOPsPerImage, wantFC2)
+	}
+
+	// Every step has a positive, finite cost model.
+	for _, s := range steps {
+		if s.FLOPsPerImage <= 0 || s.BytesPerImage <= 0 {
+			t.Fatalf("step %q has non-positive cost: %+v", s.Name, s)
+		}
+	}
+	_ = inW
+}
+
+func TestTracedExecuteEmitsSpans(t *testing.T) {
+	net, inW := traceTestNet(t)
+	p, err := Compile(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(64)
+	m := trace.NewMeter()
+	p.EnableTracing(rec, m)
+	p.SetTraceID(42)
+
+	x := tensor.New(8, inW)
+	x.RandUniform(rng.New(3), 0, 1)
+	p.Execute(nil, x)
+	p.Execute(nil, x)
+
+	spans := rec.Snapshot()
+	if len(spans) != 2*len(p.Steps()) {
+		t.Fatalf("%d spans after two executions of a %d-step plan", len(spans), len(p.Steps()))
+	}
+	for _, s := range spans {
+		if s.ID != 42 || s.Kind != trace.KindPlanStep || s.Batch != 8 {
+			t.Fatalf("span %+v", s)
+		}
+		if s.Dur < 0 || s.FLOPs <= 0 || s.Bytes <= 0 {
+			t.Fatalf("span cost %+v", s)
+		}
+	}
+	if spans[0].Name.String() != "conv1+relu1" {
+		t.Fatalf("first span name %q", spans[0].Name.String())
+	}
+
+	snap := m.Snapshot()
+	if len(snap) != len(p.Steps()) {
+		t.Fatalf("%d meter series, want %d", len(snap), len(p.Steps()))
+	}
+	for _, s := range snap {
+		if s.Plan != "trace-net" || s.Execs != 2 || s.Images != 16 {
+			t.Fatalf("series %+v", s)
+		}
+	}
+}
+
+// TestTracedExecuteMatchesUntraced: tracing must not change the arithmetic.
+func TestTracedExecuteMatchesUntraced(t *testing.T) {
+	net, inW := traceTestNet(t)
+	plain, err := Compile(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Compile(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced.EnableTracing(trace.NewRecorder(32), trace.NewMeter())
+
+	x := tensor.New(4, inW)
+	x.RandUniform(rng.New(5), 0, 1)
+	a := plain.Execute(nil, x)
+	b := traced.Execute(nil, x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestTracedExecuteZeroAlloc pins the tentpole's hard constraint: a fully
+// traced plan execution — recorder spans and meter observations per step —
+// performs zero heap allocations once warm.
+func TestTracedExecuteZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	net, inW := traceTestNet(t)
+	p, err := Compile(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableTracing(trace.NewRecorder(64), trace.NewMeter())
+	x := tensor.New(8, inW)
+	x.RandUniform(rng.New(7), 0, 1)
+	p.Execute(nil, x)
+	p.Execute(nil, x)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(30, func() { p.Execute(nil, x) }); allocs != 0 {
+		t.Errorf("traced Execute: %v allocs per warm call, want 0", allocs)
+	}
+}

@@ -3,9 +3,14 @@
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness probe
-//	GET  /info      model and device-profile metadata
-//	GET  /stats     inference-engine counters, batch histograms, latencies
+//	GET  /healthz      liveness probe
+//	GET  /info         model and device-profile metadata
+//	GET  /stats        inference-engine counters, batch histograms, latencies
+//	GET  /metrics      Prometheus text exposition (per-route counters,
+//	                   latency histograms, per-plan-step time/FLOPs series)
+//	GET  /debug/trace  recent engine spans as Chrome trace-event JSON —
+//	                   load in Perfetto or chrome://tracing
+//	GET  /debug/pprof  Go profiler, only when Options.EnablePprof is set
 //	POST /classify  classify one image; accepts either
 //	                  application/json  {"pixels": [784 floats in 0..1]}
 //	                  image/png         a 28×28 grayscale (or color) PNG
@@ -24,13 +29,16 @@ import (
 	"fmt"
 	"image"
 	"image/png"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
 	"cbnet/internal/engine"
+	"cbnet/internal/metrics"
 )
 
 // Server wraps a CBNet pipeline with HTTP handlers.
@@ -48,7 +56,19 @@ type Server struct {
 	fullLatencyMS   float64
 	directLatencyMS float64
 
+	log *slog.Logger
 	mux *http.ServeMux
+}
+
+// Options tunes the server's observability surface.
+type Options struct {
+	// EnablePprof mounts Go's profiler under /debug/pprof. Off by
+	// default: the endpoints expose stack traces and heap contents, so
+	// they are opt-in for operator-facing deployments.
+	EnablePprof bool
+	// Logger receives the server's structured request logs (per-request
+	// lines at Debug, errors at Warn). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // New builds a server around a trained pipeline with a default-configured
@@ -59,6 +79,11 @@ func New(p *core.Pipeline, prof device.Profile, family dataset.Family) *Server {
 
 // NewWithEngine builds a server around an explicitly configured engine.
 func NewWithEngine(p *core.Pipeline, eng *engine.Engine, prof device.Profile, family dataset.Family) *Server {
+	return NewWithOptions(p, eng, prof, family, Options{})
+}
+
+// NewWithOptions builds a server with explicit observability options.
+func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, family dataset.Family, opts Options) *Server {
 	s := &Server{
 		Pipeline:        p,
 		Engine:          eng,
@@ -66,11 +91,24 @@ func NewWithEngine(p *core.Pipeline, eng *engine.Engine, prof device.Profile, fa
 		Family:          family,
 		fullLatencyMS:   prof.Latency(p.Cost()) * 1e3,
 		directLatencyMS: prof.Latency(p.DirectCost()) * 1e3,
+		log:             opts.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	if opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("POST /classify", s.handleClassify)
 	s.mux = mux
 	return s
@@ -125,6 +163,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Engine.Stats())
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	if err := s.Engine.WritePrometheus(w); err != nil {
+		s.log.Warn("metrics exposition failed", "err", err)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.Engine.WriteTrace(w); err != nil {
+		s.log.Warn("trace dump failed", "err", err)
+	}
+}
+
 // ClassifyRequest is the JSON /classify payload.
 type ClassifyRequest struct {
 	Pixels []float32 `json:"pixels"`
@@ -135,7 +187,10 @@ type ClassifyRequest struct {
 
 // ClassifyResponse is the /classify result.
 type ClassifyResponse struct {
-	Class int `json:"class"`
+	// RequestID correlates this response with the engine's lifecycle
+	// spans in /debug/trace and the server's structured logs.
+	RequestID uint64 `json:"requestId"`
+	Class     int    `json:"class"`
 	// Route is the engine path taken: "easy" (classifier only) or "hard"
 	// (AE + classifier).
 	Route string `json:"route"`
@@ -197,6 +252,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrOverloaded):
+		s.log.Warn("classify rejected", "reason", "overloaded")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "engine overloaded, retry later")
 		return
@@ -210,12 +266,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wall := time.Since(start)
+	s.log.Debug("classify",
+		"requestID", res.RequestID,
+		"route", res.Route,
+		"batchSize", res.BatchSize,
+		"class", res.Class,
+		"wallMs", float64(wall.Microseconds())/1e3)
 
 	modelMS := s.fullLatencyMS
 	if res.Route == string(engine.RouteEasy) {
 		modelMS = s.directLatencyMS
 	}
 	resp := ClassifyResponse{
+		RequestID:      res.RequestID,
 		Class:          res.Class,
 		Route:          res.Route,
 		Hardness:       res.Hardness,

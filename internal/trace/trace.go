@@ -1,0 +1,253 @@
+// Package trace is the serving stack's span recorder: a zero-allocation,
+// per-goroutine ring buffer of timing spans designed to live inside the
+// plan executor's hot loop.
+//
+// The design constraints come from the inference path's zero-alloc promise
+// (see internal/nn's Plan.Execute and internal/engine's runBatch):
+//
+//   - Emit must not allocate and must not take a lock. Each Recorder is
+//     single-writer — one per engine worker, batcher, or profiling loop —
+//     so the write path is a handful of atomic stores into preallocated
+//     slots.
+//   - Readers (the /debug/trace endpoint) run concurrently with writers.
+//     Every slot is guarded by a per-slot sequence counter (a seqlock):
+//     the writer bumps it to odd before mutating and to even after, and a
+//     reader discards any slot whose sequence was odd or changed while it
+//     was being read. All slot fields are atomics, so the scheme is also
+//     race-detector-clean.
+//   - Span names are interned once on the cold path (Intern) and carried
+//     as 32-bit IDs, keeping slots fixed-size and Emit free of string
+//     handling.
+//
+// Timestamps are nanoseconds since the package's epoch (process start),
+// taken from the monotonic clock via Now.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// epoch anchors all span timestamps; Now is monotonic since process start.
+var epoch = time.Now()
+
+// Now returns the current trace timestamp: monotonic nanoseconds since the
+// package epoch. It does not allocate.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// Kind classifies a span within the request lifecycle.
+type Kind uint8
+
+const (
+	// KindPlanStep is one precompiled step of a Plan.Execute call.
+	KindPlanStep Kind = iota
+	// KindQueue covers one request's admission-to-execution wait.
+	KindQueue
+	// KindBatchForm covers a batcher coalescing one micro-batch.
+	KindBatchForm
+	// KindExecute covers one batch's forward pass on a worker.
+	KindExecute
+	// KindRespond covers delivering one batch's results to its callers.
+	KindRespond
+)
+
+// String names the kind for trace rendering.
+func (k Kind) String() string {
+	switch k {
+	case KindPlanStep:
+		return "plan-step"
+	case KindQueue:
+		return "queue"
+	case KindBatchForm:
+		return "batch-form"
+	case KindExecute:
+		return "execute"
+	case KindRespond:
+		return "respond"
+	}
+	return "unknown"
+}
+
+// NameID is an interned span name. The zero value renders as "?".
+type NameID uint32
+
+// names is the global intern table. Interning happens on cold paths only
+// (plan compilation, engine construction), so a mutex is fine.
+var names struct {
+	sync.RWMutex
+	ids  map[string]NameID
+	list []string
+}
+
+// Intern registers name and returns its stable ID. Safe for concurrent use;
+// call it at setup time, never on the hot path.
+func Intern(name string) NameID {
+	names.RLock()
+	id, ok := names.ids[name]
+	names.RUnlock()
+	if ok {
+		return id
+	}
+	names.Lock()
+	defer names.Unlock()
+	if id, ok := names.ids[name]; ok {
+		return id
+	}
+	if names.ids == nil {
+		names.ids = make(map[string]NameID)
+	}
+	names.list = append(names.list, name)
+	id = NameID(len(names.list)) // 0 stays "unknown"
+	names.ids[name] = id
+	return id
+}
+
+// String resolves the interned name (cold path).
+func (id NameID) String() string {
+	names.RLock()
+	defer names.RUnlock()
+	if id == 0 || int(id) > len(names.list) {
+		return "?"
+	}
+	return names.list[id-1]
+}
+
+// Span is one recorded interval. ID correlates spans belonging to the same
+// request or batch; Ref links across the two (a queue span's Ref is the
+// batch it was served in, an execute span's Ref is its first request).
+type Span struct {
+	ID    uint64
+	Ref   uint64
+	Kind  Kind
+	Name  NameID
+	Step  int   // plan step index (KindPlanStep), else 0
+	Batch int   // batch size the span covered
+	Start int64 // ns since the trace epoch
+	Dur   int64 // ns
+	FLOPs int64 // modelled work done in the span (KindPlanStep)
+	Bytes int64 // modelled bytes moved in the span (KindPlanStep)
+}
+
+// GFLOPS returns the span's achieved compute rate, or 0 for untimed spans.
+func (s Span) GFLOPS() float64 {
+	if s.Dur <= 0 || s.FLOPs <= 0 {
+		return 0
+	}
+	return float64(s.FLOPs) / float64(s.Dur)
+}
+
+// Intensity returns the span's modelled arithmetic intensity (FLOPs/byte),
+// or 0 when no byte model is attached.
+func (s Span) Intensity() float64 {
+	if s.Bytes <= 0 || s.FLOPs <= 0 {
+		return 0
+	}
+	return float64(s.FLOPs) / float64(s.Bytes)
+}
+
+// slot is one ring cell. Every field is atomic so concurrent snapshots are
+// race-free; seq is the per-slot seqlock (odd while the writer is inside).
+type slot struct {
+	seq   atomic.Uint64
+	id    atomic.Uint64
+	ref   atomic.Uint64
+	meta  atomic.Uint64 // kind<<56 | step<<40 | batch<<24 | name
+	start atomic.Int64
+	dur   atomic.Int64
+	flops atomic.Int64
+	bytes atomic.Int64
+}
+
+func packMeta(kind Kind, step, batch int, name NameID) uint64 {
+	if step > 0xFFFF {
+		step = 0xFFFF
+	}
+	if batch > 0xFFFF {
+		batch = 0xFFFF
+	}
+	return uint64(kind)<<56 | uint64(step)<<40 | uint64(batch)<<24 | uint64(name)&0xFFFFFF
+}
+
+func unpackMeta(m uint64) (kind Kind, step, batch int, name NameID) {
+	return Kind(m >> 56), int(m >> 40 & 0xFFFF), int(m >> 24 & 0xFFFF), NameID(m & 0xFFFFFF)
+}
+
+// Recorder is a fixed-capacity ring of spans with a single writer. Emit
+// overwrites the oldest span once full. The zero Recorder (or a nil one)
+// drops everything, so tracing can be left unwired at zero cost.
+type Recorder struct {
+	slots []slot
+	head  atomic.Uint64 // next write position; only the writer advances it
+}
+
+// NewRecorder builds a recorder holding the most recent capacity spans.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Recorder{slots: make([]slot, capacity)}
+}
+
+// Cap returns the ring capacity, 0 for a nil or zero recorder.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Emit records one span. It is lock-free, allocation-free, and must only be
+// called from the recorder's single writer goroutine. A nil or zero
+// recorder discards the span.
+func (r *Recorder) Emit(s Span) {
+	if r == nil || len(r.slots) == 0 {
+		return
+	}
+	sl := &r.slots[r.head.Load()%uint64(len(r.slots))]
+	sl.seq.Add(1) // odd: write in progress
+	sl.id.Store(s.ID)
+	sl.ref.Store(s.Ref)
+	sl.meta.Store(packMeta(s.Kind, s.Step, s.Batch, s.Name))
+	sl.start.Store(s.Start)
+	sl.dur.Store(s.Dur)
+	sl.flops.Store(s.FLOPs)
+	sl.bytes.Store(s.Bytes)
+	sl.seq.Add(1) // even: stable
+	r.head.Add(1)
+}
+
+// Snapshot returns the recorded spans, oldest first. It is safe to call
+// concurrently with Emit: slots the writer is overwriting during the read
+// are skipped rather than returned torn.
+func (r *Recorder) Snapshot() []Span {
+	if r == nil || len(r.slots) == 0 {
+		return nil
+	}
+	head := r.head.Load()
+	n := head
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sl := &r.slots[(head-n+i)%uint64(len(r.slots))]
+		seq0 := sl.seq.Load()
+		if seq0%2 != 0 {
+			continue // writer inside this slot
+		}
+		var s Span
+		s.ID = sl.id.Load()
+		s.Ref = sl.ref.Load()
+		s.Kind, s.Step, s.Batch, s.Name = unpackMeta(sl.meta.Load())
+		s.Start = sl.start.Load()
+		s.Dur = sl.dur.Load()
+		s.FLOPs = sl.flops.Load()
+		s.Bytes = sl.bytes.Load()
+		if sl.seq.Load() != seq0 {
+			continue // overwritten while reading
+		}
+		out = append(out, s)
+	}
+	return out
+}
