@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cbnet/internal/device"
+	"cbnet/internal/energy"
+	"cbnet/internal/nn"
+	"cbnet/internal/rng"
+	"cbnet/internal/tensor"
+	"cbnet/internal/trace"
+)
+
+// runEnergy compiles every shipped model into a traced execution plan, runs
+// warm batches to measure the real step mix, then prices that mix on each
+// edge device profile through the paper's §IV device/power models — the
+// offline twin of the serving stack's cbnet_energy_* series.
+func runEnergy(w io.Writer, batch, iters int) error {
+	profiles := device.All()
+	meter := trace.NewMeter()
+	models := profiledModels()
+	for _, m := range models {
+		plan, err := nn.Compile(m.net, batch)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		// Scope the meter series by model name so the projection groups
+		// per model the way the engine groups per route.
+		plan.EnableTracingScoped(nil, meter, m.name)
+		x := tensor.New(batch, m.inW)
+		x.RandUniform(rng.New(99), 0, 1)
+		for i := 0; i < iters; i++ {
+			plan.Execute(nil, x)
+		}
+	}
+	steps := meter.Snapshot()
+
+	routes := energy.ProjectRoutes(profiles, steps)
+	lookup := map[[2]string]energy.RouteProjection{}
+	for _, rp := range routes {
+		lookup[[2]string{rp.Scope, rp.Device}] = rp
+	}
+
+	fmt.Fprintf(w, "Projected per-image cost of each model on each device profile\n")
+	fmt.Fprintf(w, "(measured step mix over batch %d × %d iterations, priced by the paper's device/power models)\n\n", batch, iters)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "model\tdevice\tms/img\tmJ/img\tavg W\t\n")
+	for _, m := range models {
+		for _, p := range profiles {
+			rp, ok := lookup[[2]string{m.name, p.Name}]
+			if !ok {
+				continue
+			}
+			watts := 0.0
+			if rp.SecondsPerImage > 0 {
+				watts = rp.JoulesPerImage / rp.SecondsPerImage
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.2f\t\n",
+				m.name, p.Name, rp.SecondsPerImage*1e3, rp.JoulesPerImage*1e3, watts)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Step-level breakdown on the Raspberry Pi 4 — the paper's headline
+	// deployment target — showing where each model's joules go.
+	pi, err := device.ByName("RaspberryPi4")
+	if err != nil {
+		return err
+	}
+	perStep := map[string][]energy.StepProjection{}
+	totals := map[string]float64{}
+	for _, sp := range energy.Project([]device.Profile{pi}, steps) {
+		perStep[sp.Scope] = append(perStep[sp.Scope], sp)
+		totals[sp.Scope] += sp.JoulesPerImage
+	}
+	fmt.Fprintf(w, "\nPer-step energy breakdown on %s (mJ/img and share of the model's step total)\n\n", pi.Name)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "model\tstep\top\tms/img\tmJ/img\t%%energy\t\n")
+	for _, m := range models {
+		for _, sp := range perStep[m.name] {
+			share := 0.0
+			if totals[m.name] > 0 {
+				share = 100 * sp.JoulesPerImage / totals[m.name]
+			}
+			fmt.Fprintf(tw, "%s\t%02d-%s\t%s\t%.3f\t%.3f\t%.1f\t\n",
+				m.name, sp.Index, sp.Step, sp.Op, sp.SecondsPerImage*1e3, sp.JoulesPerImage*1e3, share)
+		}
+	}
+	return tw.Flush()
+}

@@ -10,16 +10,23 @@
 //	cbnet-bench -exp perf -filter gemm      # only the GEMM benchmarks
 //	cbnet-bench -exp perf -diff BENCH_x.json  # fail on >20% regression vs snapshot
 //	cbnet-bench -exp profile               # per-plan-step time/GFLOPS tables
+//	cbnet-bench -exp energy                # projected joules per model × device
 //
 // Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, profile,
-// all ("all" covers the paper experiments; perf and profile run only when
-// asked).
+// energy, all ("all" covers the paper experiments; perf, profile, and
+// energy run only when asked).
 //
 // "profile" compiles every shipped model into an execution plan with
 // per-step tracing attached, runs warm batches, and prints a table per
 // model: per-step wall time, share of plan time, achieved GFLOPS against
 // the compile-time FLOP model, and arithmetic intensity — the offline twin
 // of the serving stack's /metrics cbnet_plan_step_* series.
+//
+// "energy" runs the same traced plans and prices the measured step mix on
+// every shipped device profile (Pi 4, cloud instance, K80) through the
+// paper's §IV power models: millijoules and milliseconds per image per
+// model × device, plus a per-step energy breakdown on the Pi 4 — the
+// offline twin of the /metrics cbnet_energy_* series.
 //
 // With -diff, the fresh capture is compared benchmark-by-benchmark against
 // the named baseline snapshot; any benchmark slower than the baseline by
@@ -42,7 +49,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", perf, profile, or all")
+		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", perf, profile, energy, or all")
 		trainN = flag.Int("train", 2000, "training-set size per dataset")
 		testN  = flag.Int("test", 600, "test-set size per dataset")
 		seed   = flag.Uint64("seed", 42, "master seed")
@@ -58,6 +65,14 @@ func main() {
 
 	if *exp == "profile" {
 		if err := runProfile(os.Stdout, 16, 50); err != nil {
+			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "energy" {
+		if err := runEnergy(os.Stdout, 16, 50); err != nil {
 			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
 			os.Exit(1)
 		}

@@ -51,6 +51,9 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug logs every request)")
 		pprofOn   = flag.Bool("pprof", false, "mount Go's profiler under /debug/pprof (exposes stacks and heap; keep off on shared networks)")
 		demo      = flag.Bool("demo", false, "serve an untrained pipeline without checkpoints — endpoint smoke tests only, predictions are meaningless")
+		sloP99    = flag.Duration("slo-p99", 50*time.Millisecond, "latency SLO: 99% of successful requests complete within this wall time")
+		sloAvail  = flag.Float64("slo-availability", 0.999, "availability SLO target in (0,1): non-5xx responses over all terminal responses")
+		flightDir = flag.String("flight-dir", "", "directory for flight-recorder auto-dumps on SLO burn trips and 503 bursts (empty keeps dumps in memory, served at /debug/flight)")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -67,7 +70,17 @@ func main() {
 		HardnessThreshold: *threshold,
 		DisableRouting:    *noRoute,
 	}
-	opts := serve.Options{EnablePprof: *pprofOn, Logger: logger}
+	opts := serve.Options{
+		EnablePprof:     *pprofOn,
+		Logger:          logger,
+		SLOLatencyP99:   *sloP99,
+		SLOAvailability: *sloAvail,
+		FlightDir:       *flightDir,
+	}
+	if *sloAvail <= 0 || *sloAvail >= 1 {
+		logger.Error("exiting", "err", fmt.Errorf("slo-availability %v must be in (0,1)", *sloAvail))
+		os.Exit(1)
+	}
 	if err := run(*ckpt, *name, *addr, *devName, cfg, opts, *demo); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
@@ -154,6 +167,11 @@ func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options
 	}
 	defer srv.Close()
 
+	// Funnel the process default logger through the flight recorder's log
+	// buffer so auto-dumps carry the last records from the whole process,
+	// not just the server's own request lines.
+	slog.SetDefault(slog.New(srv.FlightLogs().Wrap(slog.Default().Handler())))
+
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -169,6 +187,9 @@ func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options
 		"maxBatch", ecfg.MaxBatch,
 		"maxWait", ecfg.MaxWait,
 		"pprof", opts.EnablePprof,
+		"sloP99", opts.SLOLatencyP99,
+		"sloAvailability", opts.SLOAvailability,
+		"flightDir", opts.FlightDir,
 		"demo", demo)
 	if demo {
 		slog.Warn("demo mode: pipeline is untrained, predictions are meaningless")

@@ -24,6 +24,7 @@ import (
 	"cbnet/internal/engine"
 	"cbnet/internal/models"
 	"cbnet/internal/rng"
+	"cbnet/internal/slo"
 	"cbnet/internal/tensor"
 	"cbnet/internal/trace"
 )
@@ -73,6 +74,7 @@ func registry() []benchDef {
 		{"pipeline/infer-traced/batch16", benchInferTraced},
 		{"pipeline/infer-scratch/batch16", benchInferScratch},
 		{"engine/throughput/routed", benchEngineThroughput},
+		{"engine/slo-observe", benchSLOObserve},
 	}
 }
 
@@ -361,4 +363,22 @@ func benchEngineThroughput(b *testing.B) {
 	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// benchSLOObserve measures the serve layer's per-request SLO accounting:
+// one Observe on a live tracker, which must stay a pair of atomic adds.
+// The checkpoint roll and burn-rate evaluation run on the monitor
+// goroutine, never on this path.
+func benchSLOObserve(b *testing.B) {
+	t, err := slo.NewTracker(slo.Config{Objective: slo.Objective{
+		Name: "availability", Target: 0.999,
+	}}, time.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Observe(i&7 != 0)
+	}
 }

@@ -94,11 +94,18 @@ func (ps *PlanSet) BatchCap() int { return ps.cap }
 // the set (see nn.Plan.EnableTracing). Call before the set's first
 // execution; either argument may be nil.
 func (ps *PlanSet) EnableTracing(rec *trace.Recorder, m *trace.Meter) {
+	ps.EnableTracingScoped(rec, m, "")
+}
+
+// EnableTracingScoped is EnableTracing with a meter scope (the engine
+// route the set serves), so identical plans on different routes keep
+// separate per-step series (see nn.Plan.EnableTracingScoped).
+func (ps *PlanSet) EnableTracingScoped(rec *trace.Recorder, m *trace.Meter, scope string) {
 	if ps.ae != nil {
-		ps.ae.EnableTracing(rec, m)
+		ps.ae.EnableTracingScoped(rec, m, scope)
 	}
 	if ps.cls != nil {
-		ps.cls.EnableTracing(rec, m)
+		ps.cls.EnableTracingScoped(rec, m, scope)
 	}
 }
 

@@ -1,0 +1,172 @@
+// Package energy projects measured plan-step timings onto the paper's edge
+// device models, turning the trace meter's per-(route, plan, step) series
+// into live joules figures: the x86 host measures *where the work happens*
+// (step mix, images served), and the device.Profile + power equations say
+// what that work costs on a Raspberry Pi 4, the Google Cloud instance, or
+// the K80 — per step, per image, and cumulatively.
+//
+// Everything here runs at snapshot time (a /metrics scrape, a bench table,
+// a flight dump): the hot path never sees this package, so the zero-alloc
+// and tracing-overhead contracts are untouched.
+package energy
+
+import (
+	"cbnet/internal/device"
+	"cbnet/internal/power"
+	"cbnet/internal/trace"
+)
+
+// StepProjection is one (step, device) cell: the modelled per-image time
+// and energy of a traced plan step on a device profile, scaled by the
+// images the step has actually served.
+type StepProjection struct {
+	Scope  string // engine route ("easy"/"hard"), "" unscoped
+	Plan   string
+	Step   string
+	Index  int
+	Op     string
+	Device string
+
+	// SecondsPerImage is the device-model step time: kernel time for the
+	// step's op class plus one layer-dispatch overhead.
+	SecondsPerImage float64
+	// Watts is the modelled average draw while the step runs.
+	Watts float64
+	// JoulesPerImage = Watts × SecondsPerImage.
+	JoulesPerImage float64
+
+	// Images and Joules scale the model by actual served traffic:
+	// Joules = JoulesPerImage × Images (the cbnet_energy_joules_total
+	// series).
+	Images int64
+	Joules float64
+}
+
+// stepKernelSeconds returns the step's per-image kernel time on p, keyed by
+// the op class the plan compiler stamped on the meter series. GEMM steps
+// carry FLOPs (2 per multiply-accumulate), pool/activation steps carry raw
+// ops, matching internal/nn's cost model.
+func stepKernelSeconds(p device.Profile, s trace.StepSnapshot) float64 {
+	switch s.Op {
+	case "dense":
+		return float64(s.FLOPsPerImage) / 2 / p.DenseRate
+	case "conv":
+		return float64(s.FLOPsPerImage) / 2 / p.ConvRate
+	case "pool":
+		return float64(s.FLOPsPerImage) / p.PoolRate
+	case "act":
+		return float64(s.FLOPsPerImage) / p.ElemRate
+	default:
+		// Unknown op: price it as elementwise work, the conservative
+		// floor.
+		return float64(s.FLOPsPerImage) / p.ElemRate
+	}
+}
+
+// profileWatts returns the device's modelled draw. duty is the fraction of
+// wall time compute kernels are busy, which only the K80 model uses (its
+// launch-bound layers leave the GPU partially idle — §IV-E).
+func profileWatts(p device.Profile, duty float64) float64 {
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	var w float64
+	var err error
+	switch {
+	case p.HasGPU:
+		w, err = power.K80Power(duty)
+	case p.Name == "RaspberryPi4":
+		w, err = power.PiPower(p.Utilization)
+	default:
+		w, err = power.GCIPower(p.Utilization)
+	}
+	if err != nil {
+		return 0
+	}
+	return w
+}
+
+// ProjectStep models one traced step on one device profile.
+func ProjectStep(p device.Profile, s trace.StepSnapshot) StepProjection {
+	kernel := stepKernelSeconds(p, s)
+	secs := kernel + p.LayerOverhead
+	duty := 0.0
+	if secs > 0 {
+		duty = kernel / secs
+	}
+	watts := profileWatts(p, duty)
+	jpi := watts * secs
+	return StepProjection{
+		Scope: s.Scope, Plan: s.Plan, Step: s.Step, Index: s.Index, Op: s.Op,
+		Device:          p.Name,
+		SecondsPerImage: secs,
+		Watts:           watts,
+		JoulesPerImage:  jpi,
+		Images:          s.Images,
+		Joules:          jpi * float64(s.Images),
+	}
+}
+
+// Project models every traced step on every given profile, preserving the
+// meter's snapshot order within each profile.
+func Project(profiles []device.Profile, steps []trace.StepSnapshot) []StepProjection {
+	out := make([]StepProjection, 0, len(profiles)*len(steps))
+	for _, p := range profiles {
+		for _, s := range steps {
+			out = append(out, ProjectStep(p, s))
+		}
+	}
+	return out
+}
+
+// RouteProjection aggregates one (route, device) pair: the full per-image
+// cost of the route's plan steps plus the device's once-per-image
+// inference overhead.
+type RouteProjection struct {
+	Scope  string
+	Device string
+	// SecondsPerImage and JoulesPerImage are the summed step models plus
+	// the profile's per-image overhead — the live joules-per-image gauge.
+	SecondsPerImage float64
+	JoulesPerImage  float64
+	// Images is the route's served image count (the max across its steps,
+	// since every image passes through each step of its plan).
+	Images int64
+	Joules float64
+}
+
+// ProjectRoutes folds step projections into per-(scope, device) totals.
+// Scopeless series (profiling loops) aggregate under scope "".
+func ProjectRoutes(profiles []device.Profile, steps []trace.StepSnapshot) []RouteProjection {
+	type key struct{ scope, dev string }
+	index := map[key]int{}
+	var out []RouteProjection
+	for _, p := range profiles {
+		for _, s := range steps {
+			sp := ProjectStep(p, s)
+			k := key{s.Scope, p.Name}
+			i, ok := index[k]
+			if !ok {
+				i = len(out)
+				index[k] = i
+				out = append(out, RouteProjection{
+					Scope: s.Scope, Device: p.Name,
+					SecondsPerImage: p.InferOverhead,
+					JoulesPerImage:  profileWatts(p, 0) * p.InferOverhead,
+				})
+			}
+			out[i].SecondsPerImage += sp.SecondsPerImage
+			out[i].JoulesPerImage += sp.JoulesPerImage
+			if s.Images > out[i].Images {
+				out[i].Images = s.Images
+			}
+		}
+	}
+	for i := range out {
+		out[i].Joules = out[i].JoulesPerImage * float64(out[i].Images)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"cbnet/internal/device"
+	"cbnet/internal/power"
+	"cbnet/internal/trace"
+)
+
+func snap(scope, op string, flopsPerImg, images int64) trace.StepSnapshot {
+	return trace.StepSnapshot{
+		Scope: scope, Plan: "cls", Step: "fc1+relu", Index: 0, Op: op,
+		Images: images, FLOPsPerImage: flopsPerImg,
+	}
+}
+
+func TestProjectStepDenseMath(t *testing.T) {
+	p := device.GCI()
+	s := snap("easy", "dense", 2_000_000, 100) // 1e6 MACs
+	sp := ProjectStep(p, s)
+
+	wantKernel := 1e6 / p.DenseRate
+	wantSecs := wantKernel + p.LayerOverhead
+	if math.Abs(sp.SecondsPerImage-wantSecs) > 1e-12 {
+		t.Fatalf("seconds/img %v, want %v", sp.SecondsPerImage, wantSecs)
+	}
+	wantWatts, err := power.GCIPower(p.Utilization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Watts-wantWatts) > 1e-12 {
+		t.Fatalf("watts %v, want %v", sp.Watts, wantWatts)
+	}
+	if math.Abs(sp.JoulesPerImage-wantWatts*wantSecs) > 1e-12 {
+		t.Fatalf("J/img %v, want %v", sp.JoulesPerImage, wantWatts*wantSecs)
+	}
+	if math.Abs(sp.Joules-sp.JoulesPerImage*100) > 1e-12 {
+		t.Fatalf("total J %v, want %v", sp.Joules, sp.JoulesPerImage*100)
+	}
+	if sp.Device != "GCI" || sp.Scope != "easy" {
+		t.Fatalf("labels lost: %+v", sp)
+	}
+}
+
+func TestProjectStepOpRates(t *testing.T) {
+	p := device.RaspberryPi4()
+	conv := ProjectStep(p, snap("", "conv", 2_000_000, 1))
+	dense := ProjectStep(p, snap("", "dense", 2_000_000, 1))
+	// Same FLOPs, but the Pi's conv rate is ~50× slower than dense.
+	if conv.SecondsPerImage <= dense.SecondsPerImage {
+		t.Fatalf("conv (%v s) should cost more than dense (%v s) on the Pi",
+			conv.SecondsPerImage, dense.SecondsPerImage)
+	}
+	pool := ProjectStep(p, snap("", "pool", 1000, 1))
+	wantPool := 1000/p.PoolRate + p.LayerOverhead
+	if math.Abs(pool.SecondsPerImage-wantPool) > 1e-12 {
+		t.Fatalf("pool seconds %v, want %v (raw ops, not MACs)", pool.SecondsPerImage, wantPool)
+	}
+}
+
+func TestK80DutyScalesPower(t *testing.T) {
+	p := device.GCIGPU()
+	// A tiny step is launch-bound: duty ≈ 0, so power ≈ CPU-only 17.7 W.
+	tiny := ProjectStep(p, snap("", "dense", 2, 1))
+	if tiny.Watts > power.K80CPUWatts+5 {
+		t.Fatalf("launch-bound step draws %v W, want ≈%v", tiny.Watts, power.K80CPUWatts)
+	}
+	// A huge GEMM keeps the GPU busy: power approaches 96.7 W.
+	huge := ProjectStep(p, snap("", "conv", 2e12, 1))
+	if huge.Watts < 90 {
+		t.Fatalf("compute-bound step draws %v W, want ≈96.7", huge.Watts)
+	}
+	if huge.Watts <= tiny.Watts {
+		t.Fatal("GPU duty not scaling power")
+	}
+}
+
+func TestProjectAllProfiles(t *testing.T) {
+	steps := []trace.StepSnapshot{
+		snap("easy", "dense", 1000, 10),
+		snap("hard", "dense", 1000, 5),
+	}
+	got := Project(device.All(), steps)
+	if len(got) != 6 {
+		t.Fatalf("got %d projections, want 3 profiles × 2 steps", len(got))
+	}
+	for _, sp := range got {
+		if sp.JoulesPerImage <= 0 || sp.SecondsPerImage <= 0 {
+			t.Fatalf("non-positive projection: %+v", sp)
+		}
+	}
+}
+
+func TestProjectRoutesAggregation(t *testing.T) {
+	p := device.GCI()
+	steps := []trace.StepSnapshot{
+		{Scope: "hard", Plan: "ae", Step: "enc", Index: 0, Op: "dense", Images: 50, FLOPsPerImage: 2000},
+		{Scope: "hard", Plan: "cls", Step: "fc", Index: 0, Op: "dense", Images: 50, FLOPsPerImage: 4000},
+		{Scope: "easy", Plan: "cls", Step: "fc", Index: 0, Op: "dense", Images: 200, FLOPsPerImage: 4000},
+	}
+	routes := ProjectRoutes([]device.Profile{p}, steps)
+	if len(routes) != 2 {
+		t.Fatalf("got %d route projections, want 2", len(routes))
+	}
+	var hard, easy *RouteProjection
+	for i := range routes {
+		switch routes[i].Scope {
+		case "hard":
+			hard = &routes[i]
+		case "easy":
+			easy = &routes[i]
+		}
+	}
+	if hard == nil || easy == nil {
+		t.Fatalf("missing scopes: %+v", routes)
+	}
+	if hard.Images != 50 || easy.Images != 200 {
+		t.Fatalf("images: hard=%d easy=%d, want 50/200", hard.Images, easy.Images)
+	}
+	// The hard route runs both plans per image plus the per-image
+	// overhead once.
+	enc := ProjectStep(p, steps[0])
+	fc := ProjectStep(p, steps[1])
+	base := profileWatts(p, 0) * p.InferOverhead
+	want := enc.JoulesPerImage + fc.JoulesPerImage + base
+	if math.Abs(hard.JoulesPerImage-want) > 1e-12 {
+		t.Fatalf("hard J/img %v, want %v", hard.JoulesPerImage, want)
+	}
+	if math.Abs(hard.Joules-hard.JoulesPerImage*50) > 1e-12 {
+		t.Fatalf("hard total %v, want J/img×50", hard.Joules)
+	}
+	// Easy (classifier only) must be cheaper per image than hard.
+	if easy.JoulesPerImage >= hard.JoulesPerImage {
+		t.Fatalf("easy J/img %v not below hard %v", easy.JoulesPerImage, hard.JoulesPerImage)
+	}
+}

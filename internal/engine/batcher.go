@@ -193,7 +193,7 @@ func (e *Engine) newWorker(rt *route, idx int) *worker {
 		ps, err = e.pipe.Plans(e.cfg.MaxBatch)
 	}
 	if err == nil {
-		ps.EnableTracing(w.rec, e.meter)
+		ps.EnableTracingScoped(w.rec, e.meter, string(rt.name))
 		w.ps = ps
 	} else {
 		w.s = tensor.GetScratch()

@@ -107,6 +107,11 @@ func (c Config) withDefaults() Config {
 
 // Request is one image to classify.
 type Request struct {
+	// ID, when non-zero, is a caller-issued correlation ID from
+	// IssueRequestID. The serve layer issues IDs before validation so
+	// rejected requests (400/413/503) still carry a requestId in logs and
+	// responses; zero lets Submit assign one.
+	ID uint64
 	// Pixels is the flattened 28×28 image in [0,1].
 	Pixels []float32
 	// IncludeConverted asks for the autoencoder's output image. Setting
@@ -241,6 +246,39 @@ func (e *Engine) startRoute(rt *route, workers int) {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// IssueRequestID hands out the next correlation ID. The serve layer calls
+// it on arrival — before decoding or admission — so every response and log
+// record carries a requestId even when the request never reaches Submit.
+func (e *Engine) IssueRequestID() uint64 { return e.reqID.Add(1) }
+
+// RetryAfterSeconds estimates how long an overloaded client should back
+// off: the fullest route's queue occupancy divided by the engine's
+// observed service rate (images completed per second since start), so the
+// hint scales with real overload instead of being a constant. Clamped to
+// [1, 60] whole seconds; with no throughput history it falls back to 1.
+func (e *Engine) RetryAfterSeconds() int {
+	uptime := time.Since(e.stats.start).Seconds()
+	if uptime <= 0 {
+		return 1
+	}
+	worst := 1.0
+	for _, rt := range e.liveRoutes() {
+		rate := float64(rt.stats.images.Value()) / uptime
+		if rate <= 0 {
+			continue
+		}
+		// Workers drain the route in parallel; the queue clears at the
+		// route's aggregate rate.
+		if wait := float64(len(rt.queue)) / rate; wait > worst {
+			worst = wait
+		}
+	}
+	if worst > 60 {
+		worst = 60
+	}
+	return int(worst + 0.999) // ceil: never hint a shorter wait than modelled
+}
+
 // Submit classifies one image, blocking until its batch completes, ctx is
 // done, or admission fails. A request rejected with ErrOverloaded consumed
 // no inference capacity. If ctx expires after admission the request is
@@ -250,8 +288,12 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 	if len(req.Pixels) != dataset.Pixels {
 		return Result{}, fmt.Errorf("engine: got %d pixels, want %d", len(req.Pixels), dataset.Pixels)
 	}
+	id := req.ID
+	if id == 0 {
+		id = e.IssueRequestID()
+	}
 	r := &request{
-		id:            e.reqID.Add(1),
+		id:            id,
 		pixels:        req.Pixels,
 		wantConverted: req.IncludeConverted,
 		done:          make(chan Result, 1),

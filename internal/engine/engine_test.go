@@ -270,3 +270,49 @@ func TestDisableRoutingFoldsWorkerBudget(t *testing.T) {
 		t.Fatalf("Config().Workers = %d, want 3 with routing enabled", got)
 	}
 }
+
+// TestRetryAfterSeconds: the backoff hint must stay a positive whole
+// number of seconds within [1, 60] regardless of traffic history, and
+// stay at the floor while queues are empty.
+func TestRetryAfterSeconds(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1})
+	if got := e.RetryAfterSeconds(); got != 1 {
+		t.Errorf("fresh engine RetryAfterSeconds = %d, want 1 (no history, empty queues)", got)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if _, err := e.Submit(context.Background(), Request{Pixels: easyImage(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.RetryAfterSeconds(); got < 1 || got > 60 {
+		t.Errorf("RetryAfterSeconds = %d, want within [1, 60]", got)
+	}
+	if got := e.RetryAfterSeconds(); got != 1 {
+		t.Errorf("drained queues RetryAfterSeconds = %d, want the 1s floor", got)
+	}
+}
+
+// TestIssueRequestIDMonotonic: pre-issued IDs and Submit-assigned IDs
+// draw from the same sequence, so correlation never collides.
+func TestIssueRequestIDMonotonic(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1})
+	a := e.IssueRequestID()
+	b := e.IssueRequestID()
+	if b <= a {
+		t.Fatalf("IDs not increasing: %d then %d", a, b)
+	}
+	res, err := e.Submit(context.Background(), Request{ID: b, Pixels: easyImage(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestID != b {
+		t.Errorf("Submit dropped caller-issued ID: got %d, want %d", res.RequestID, b)
+	}
+	res, err = e.Submit(context.Background(), Request{Pixels: easyImage(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestID <= b {
+		t.Errorf("auto-assigned ID %d not after pre-issued %d", res.RequestID, b)
+	}
+}

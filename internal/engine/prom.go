@@ -5,6 +5,8 @@ import (
 	"io"
 	"time"
 
+	"cbnet/internal/device"
+	"cbnet/internal/energy"
 	"cbnet/internal/metrics"
 )
 
@@ -59,6 +61,7 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	for _, s := range steps {
 		ls := metrics.Labels{
 			metrics.L("plan", s.Plan),
+			metrics.L("route", s.Scope),
 			metrics.L("step", fmt.Sprintf("%02d-%s", s.Index, s.Step)),
 		}
 		secs = append(secs, metrics.VecSample{Labels: ls, Value: float64(s.Nanos) / 1e9})
@@ -76,6 +79,36 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	p.CounterVec("cbnet_plan_step_bytes_total", "Modelled bytes moved per compiled plan step.", bytes)
 	p.GaugeVec("cbnet_plan_step_gflops", "Achieved GFLOPS per compiled plan step (cumulative FLOPs over cumulative time).", gflops)
 	p.GaugeVec("cbnet_plan_step_arithmetic_intensity", "FLOPs per byte moved per compiled plan step.", intensity)
+
+	// Live energy attribution: the measured per-step traffic above, costed
+	// through the paper's device/power models at scrape time. Joules are
+	// projected per shipped edge profile (Pi4 / cloud instance / K80), so
+	// the x86 host reports what the served mix would have cost at the
+	// edge. Cold path — nothing here touches the workers.
+	profiles := device.All()
+	var joules []metrics.VecSample
+	for _, sp := range energy.Project(profiles, steps) {
+		ls := metrics.Labels{
+			metrics.L("device", sp.Device),
+			metrics.L("plan", sp.Plan),
+			metrics.L("route", sp.Scope),
+			metrics.L("step", fmt.Sprintf("%02d-%s", sp.Index, sp.Step)),
+		}
+		joules = append(joules, metrics.VecSample{Labels: ls, Value: sp.Joules})
+	}
+	p.CounterVec("cbnet_energy_joules_total", "Projected energy per plan step on each device profile (measured step traffic × device model).", joules)
+
+	var perImage, perImageSecs []metrics.VecSample
+	for _, rp := range energy.ProjectRoutes(profiles, steps) {
+		ls := metrics.Labels{
+			metrics.L("device", rp.Device),
+			metrics.L("route", rp.Scope),
+		}
+		perImage = append(perImage, metrics.VecSample{Labels: ls, Value: rp.JoulesPerImage})
+		perImageSecs = append(perImageSecs, metrics.VecSample{Labels: ls, Value: rp.SecondsPerImage})
+	}
+	p.GaugeVec("cbnet_energy_joules_per_image", "Projected per-image energy of each route's plan steps on each device profile.", perImage)
+	p.GaugeVec("cbnet_energy_seconds_per_image", "Projected per-image latency of each route's plan steps on each device profile.", perImageSecs)
 
 	return p.Err()
 }

@@ -1,0 +1,228 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cbnet/internal/trace"
+)
+
+func TestRingRoundTrip(t *testing.T) {
+	r := NewRing(8)
+	route := trace.Intern("easy")
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{
+			T: int64(i) * 1000, Kind: KindComplete, RequestID: uint64(i),
+			Route: route, Status: 200, DurNs: 5000, BatchSize: 4,
+		})
+	}
+	got := r.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("got %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.RequestID != uint64(i+1) {
+			t.Fatalf("event %d: requestID %d, want %d", i, e.RequestID, i+1)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Kind != KindComplete || e.Status != 200 || e.BatchSize != 4 || e.Route != route {
+			t.Fatalf("event %d fields corrupted: %+v", i, e)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{RequestID: uint64(i), Kind: KindAdmit})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("got %d events, want 4 (capacity)", len(got))
+	}
+	for i, e := range got {
+		if e.RequestID != uint64(7+i) {
+			t.Fatalf("event %d: requestID %d, want %d (oldest evicted)", i, e.RequestID, 7+i)
+		}
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Event{})
+	if r.Snapshot() != nil || r.Dropped() != 0 {
+		t.Fatal("nil ring must be inert")
+	}
+	var rec *Recorder
+	rec.Record(Event{})
+	rec.NoteReject(0)
+	rec.Trip("x")
+	rec.SetContext(nil)
+	if rec.Logs() != nil {
+		t.Fatal("nil recorder Logs() must be nil")
+	}
+	if d := rec.Snapshot("manual"); d == nil || d.Trigger != "manual" {
+		t.Fatal("nil recorder Snapshot must return an empty dump")
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(256)
+	var wg sync.WaitGroup
+	const writers, per = 8, 5000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(Event{RequestID: uint64(w*per + i), Kind: KindComplete, Status: 200})
+				if i%500 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got)+int(r.Dropped()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// All surviving events must be well-formed (no torn mixes).
+	for _, e := range got {
+		if e.Kind != KindComplete || e.Status != 200 {
+			t.Fatalf("torn event: %+v", e)
+		}
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	r := NewRing(64)
+	e := Event{T: 1, Kind: KindComplete, RequestID: 7, Status: 200, DurNs: 100, BatchSize: 2}
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(e) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestBurstDetectorTripsAndDumps(t *testing.T) {
+	dir := t.TempDir()
+	rec := New(Config{
+		Dir:            dir,
+		BurstThreshold: 5,
+		BurstWindow:    time.Second,
+		Context: func() map[string]any {
+			return map[string]any{"queueDepth": 42}
+		},
+	})
+	var dumped *Dump
+	rec.onDump = func(d *Dump) { dumped = d }
+
+	base := trace.Now()
+	for i := 0; i < 5; i++ {
+		rec.Record(Event{T: base, Kind: KindReject, RequestID: uint64(i), Status: 503})
+		rec.NoteReject(base + int64(i)*int64(time.Millisecond))
+	}
+	if dumped == nil {
+		t.Fatal("5 rejects within 1s did not trigger a dump")
+	}
+	if !strings.Contains(dumped.Trigger, "503-burst") {
+		t.Fatalf("trigger %q, want 503-burst", dumped.Trigger)
+	}
+	if dumped.Context["queueDepth"] != 42 {
+		t.Fatalf("context not attached: %v", dumped.Context)
+	}
+	if len(dumped.Events) != 5 {
+		t.Fatalf("dump carries %d events, want 5", len(dumped.Events))
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly 1 dump file, got %v (err %v)", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump file is not valid JSON: %v", err)
+	}
+	if d.Trigger != dumped.Trigger || len(d.Events) != 5 {
+		t.Fatalf("dump file mismatch: %+v", d)
+	}
+}
+
+func TestBurstBelowThresholdDoesNotTrip(t *testing.T) {
+	rec := New(Config{BurstThreshold: 5, BurstWindow: time.Second})
+	tripped := false
+	rec.onDump = func(*Dump) { tripped = true }
+	// 4 rejects in the window, then 4 more spaced far apart.
+	base := int64(0)
+	for i := 0; i < 4; i++ {
+		rec.NoteReject(base + int64(i)*int64(time.Millisecond))
+	}
+	for i := 0; i < 4; i++ {
+		rec.NoteReject(base + int64(10+i*10)*int64(time.Second))
+	}
+	if tripped {
+		t.Fatal("burst detector tripped below threshold")
+	}
+}
+
+func TestCooldownSuppressesRepeatDumps(t *testing.T) {
+	rec := New(Config{Cooldown: time.Hour})
+	dumps := 0
+	rec.onDump = func(*Dump) { dumps++ }
+	rec.Trip("slo trip one")
+	rec.Trip("slo trip two")
+	if dumps != 1 {
+		t.Fatalf("got %d dumps, want 1 (cooldown)", dumps)
+	}
+	// The suppressed trigger must still surface on snapshots.
+	d := rec.Snapshot("manual")
+	if d.LastTrigger != "slo trip two" {
+		t.Fatalf("lastTrigger %q, want the suppressed trip", d.LastTrigger)
+	}
+}
+
+func TestLogBufferTee(t *testing.T) {
+	rec := New(Config{LogLines: 3})
+	h := rec.Logs().Wrap(slog.NewTextHandler(io.Discard, nil))
+	log := slog.New(h).With("route", "easy")
+	for i := 0; i < 5; i++ {
+		log.Info("served", "requestId", i)
+	}
+	tail := rec.Logs().Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail holds %d lines, want 3", len(tail))
+	}
+	if !strings.Contains(tail[2], "requestId=4") || !strings.Contains(tail[2], "route=easy") {
+		t.Fatalf("newest line malformed: %q", tail[2])
+	}
+	if !strings.Contains(tail[0], "requestId=2") {
+		t.Fatalf("oldest retained line should be requestId=2: %q", tail[0])
+	}
+	d := rec.Snapshot("manual")
+	if len(d.Logs) != 3 {
+		t.Fatalf("dump carries %d log lines, want 3", len(d.Logs))
+	}
+}
+
+func TestLogBufferGroups(t *testing.T) {
+	rec := New(Config{LogLines: 4})
+	h := rec.Logs().Wrap(slog.NewTextHandler(io.Discard, nil))
+	slog.New(h).WithGroup("engine").Info("drained", "inflight", 0)
+	tail := rec.Logs().Tail()
+	if len(tail) != 1 || !strings.Contains(tail[0], "engine.inflight=0") {
+		t.Fatalf("grouped attr not rendered: %v", tail)
+	}
+}

@@ -73,6 +73,55 @@ func TestPromRoundTripLint(t *testing.T) {
 	}
 }
 
+// TestHistogramVecScaling pins the unit-rescaling contract the engine
+// relies on: histograms observed in milliseconds are exported in base
+// seconds. Bounds and _sum scale; counts never do; +Inf stays +Inf.
+func TestHistogramVecScaling(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, ms := range []float64{0.5, 5, 50, 500} {
+		h.Observe(ms)
+	}
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.HistogramVec("d_seconds", "h", []HistSample{
+		{Labels: Labels{L("route", "easy")}, Hist: h, Scale: 1e-3},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`d_seconds_bucket{route="easy",le="0.001"} 1`,
+		`d_seconds_bucket{route="easy",le="0.01"} 2`,
+		`d_seconds_bucket{route="easy",le="0.1"} 3`,
+		`d_seconds_bucket{route="easy",le="+Inf"} 4`,
+		`d_seconds_sum{route="easy"} 0.5555`,
+		`d_seconds_count{route="easy"} 4`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("scaled histogram fails lint: %v", err)
+	}
+
+	// Zero Scale means unscaled, not zeroed-out.
+	buf.Reset()
+	w = NewPromWriter(&buf)
+	w.HistogramVec("d_ms", "h", []HistSample{{Hist: h}})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`d_ms_bucket{le="1"} 1`,
+		`d_ms_sum 555.5`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("unscaled exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewPromWriter(&buf)

@@ -369,6 +369,15 @@ func (p *Plan) Steps() []StepInfo {
 // different workers fold into one per-step series. Call before serving —
 // attachment interns names and allocates; Execute afterwards does not.
 func (p *Plan) EnableTracing(rec *trace.Recorder, m *trace.Meter) {
+	p.EnableTracingScoped(rec, m, "")
+}
+
+// EnableTracingScoped is EnableTracing with a meter scope — typically the
+// engine route ("easy"/"hard") the plan executes under — so the same
+// network serving two routes yields two distinguishable per-step series.
+// Each step also registers its operation class ("dense"/"conv"/...) with
+// the meter, which the energy projector keys device rates on.
+func (p *Plan) EnableTracingScoped(rec *trace.Recorder, m *trace.Meter, scope string) {
 	p.rec = rec
 	if p.nameIDs == nil {
 		p.nameIDs = make([]trace.NameID, len(p.steps))
@@ -377,10 +386,11 @@ func (p *Plan) EnableTracing(rec *trace.Recorder, m *trace.Meter) {
 		}
 	}
 	if m != nil {
+		ops := map[planOp]string{opDense: "dense", opConv: "conv", opPool: "pool", opAct: "act"}
 		p.stats = make([]*trace.StepStats, len(p.steps))
 		for i := range p.steps {
 			st := &p.steps[i]
-			p.stats[i] = m.Step(p.name, st.name, i, st.flopsPerImg, st.ioPerImg, st.fixedBytes)
+			p.stats[i] = m.ScopedStep(scope, ops[st.op], p.name, st.name, i, st.flopsPerImg, st.ioPerImg, st.fixedBytes)
 		}
 	}
 }

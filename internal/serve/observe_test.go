@@ -167,10 +167,10 @@ func TestStructuredRequestLog(t *testing.T) {
 			continue
 		}
 		found = true
-		if uint64(rec["requestID"].(float64)) != cr.RequestID {
-			t.Errorf("logged requestID %v != response %d", rec["requestID"], cr.RequestID)
+		if uint64(rec["requestId"].(float64)) != cr.RequestID {
+			t.Errorf("logged requestId %v != response %d", rec["requestId"], cr.RequestID)
 		}
-		for _, k := range []string{"route", "batchSize", "class", "wallMs"} {
+		for _, k := range []string{"route", "batchSize", "class", "wallMs", "energyMj"} {
 			if _, ok := rec[k]; !ok {
 				t.Errorf("log line missing %q: %s", k, line)
 			}

@@ -3,19 +3,24 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /info         model and device-profile metadata
-//	GET  /stats        inference-engine counters, batch histograms, latencies
-//	GET  /metrics      Prometheus text exposition (per-route counters,
-//	                   latency histograms, per-plan-step time/FLOPs series)
-//	GET  /debug/trace  recent engine spans as Chrome trace-event JSON —
-//	                   load in Perfetto or chrome://tracing
-//	GET  /debug/pprof  Go profiler, only when Options.EnablePprof is set
+//	GET  /healthz       liveness probe
+//	GET  /info          model and device-profile metadata
+//	GET  /stats         inference-engine counters, batch histograms, latencies
+//	GET  /metrics       Prometheus text exposition (per-route counters,
+//	                    latency histograms, per-plan-step time/FLOPs series,
+//	                    projected per-device energy, SLO burn rates)
+//	GET  /slo           machine-readable SLO verdict: per-objective budget
+//	                    remaining and multi-window burn rates
+//	GET  /debug/trace   recent engine spans as Chrome trace-event JSON —
+//	                    load in Perfetto or chrome://tracing
+//	GET  /debug/flight  flight-recorder dump: recent request lifecycle
+//	                    events + spans + queue gauges + SLO state + log tail
+//	GET  /debug/pprof   Go profiler, only when Options.EnablePprof is set
 //	POST /classify  classify one image; accepts either
 //	                  application/json  {"pixels": [784 floats in 0..1]}
 //	                  image/png         a 28×28 grayscale (or color) PNG
 //	                and returns prediction, route taken, per-stage latency
-//	                estimates and optionally the converted image.
+//	                and energy estimates and optionally the converted image.
 //
 // Requests are served through an internal/engine batching engine: concurrent
 // /classify calls coalesce into micro-batches, easy images skip the
@@ -24,21 +29,27 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"image"
 	"image/png"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
 	"cbnet/internal/engine"
+	"cbnet/internal/flight"
 	"cbnet/internal/metrics"
+	"cbnet/internal/slo"
+	"cbnet/internal/trace"
 )
 
 // Server wraps a CBNet pipeline with HTTP handlers.
@@ -51,10 +62,31 @@ type Server struct {
 	// Family is reported by /info.
 	Family dataset.Family
 
-	// Per-route model-latency estimates (ms), fixed at load time so the
-	// classify hot path doesn't re-walk the pipeline layers per request.
+	// Per-route model-latency and model-energy estimates, fixed at load
+	// time so the classify hot path doesn't re-walk the pipeline layers
+	// per request. Energy is the paper's §IV-C model evaluated on Profile,
+	// in millijoules per image.
 	fullLatencyMS   float64
 	directLatencyMS float64
+	fullEnergyMJ    float64
+	directEnergyMJ  float64
+
+	// SLO monitor: availability over all terminal responses (bad = 5xx),
+	// latency over successful responses (bad = wall time above the p99
+	// objective). Observations are one atomic add each.
+	sloMon      *slo.Monitor
+	availT      *slo.Tracker
+	latT        *slo.Tracker
+	latTargetMS float64
+
+	// Flight recorder: request lifecycle ring + log tail, auto-dumped on
+	// SLO burn trips and 503 bursts.
+	flight *flight.Recorder
+
+	// Pre-interned route labels for flight events (no string handling at
+	// event time).
+	routeEasyID trace.NameID
+	routeHardID trace.NameID
 
 	log *slog.Logger
 	mux *http.ServeMux
@@ -67,8 +99,22 @@ type Options struct {
 	// they are opt-in for operator-facing deployments.
 	EnablePprof bool
 	// Logger receives the server's structured request logs (per-request
-	// lines at Debug, errors at Warn). Nil selects slog.Default().
+	// lines at Debug, errors at Warn). Nil selects slog.Default(). The
+	// server tees its own records into the flight recorder's log buffer;
+	// to capture records logged elsewhere in the process too, wrap their
+	// handler with Server.FlightLogs().Wrap — cmd/cbnet-serve does.
 	Logger *slog.Logger
+	// SLOLatencyP99 is the latency objective: 99% of successful requests
+	// must complete (wall time, including queueing) within it. Zero
+	// selects 50ms.
+	SLOLatencyP99 time.Duration
+	// SLOAvailability is the availability target over all terminal
+	// responses (bad = 5xx). Zero selects 0.999; must be in (0,1).
+	SLOAvailability float64
+	// FlightDir, when non-empty, receives flight-recorder auto-dump files
+	// on SLO burn-rate trips and 503 bursts. Empty keeps dumps in memory
+	// (still served by GET /debug/flight).
+	FlightDir string
 }
 
 // New builds a server around a trained pipeline with a default-configured
@@ -84,6 +130,12 @@ func NewWithEngine(p *core.Pipeline, eng *engine.Engine, prof device.Profile, fa
 
 // NewWithOptions builds a server with explicit observability options.
 func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, family dataset.Family, opts Options) *Server {
+	if opts.SLOLatencyP99 <= 0 {
+		opts.SLOLatencyP99 = 50 * time.Millisecond
+	}
+	if opts.SLOAvailability <= 0 || opts.SLOAvailability >= 1 {
+		opts.SLOAvailability = 0.999
+	}
 	s := &Server{
 		Pipeline:        p,
 		Engine:          eng,
@@ -91,17 +143,61 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 		Family:          family,
 		fullLatencyMS:   prof.Latency(p.Cost()) * 1e3,
 		directLatencyMS: prof.Latency(p.DirectCost()) * 1e3,
+		latTargetMS:     float64(opts.SLOLatencyP99) / float64(time.Millisecond),
+		routeEasyID:     trace.Intern(string(engine.RouteEasy)),
+		routeHardID:     trace.Intern(string(engine.RouteHard)),
 		log:             opts.Logger,
 	}
 	if s.log == nil {
 		s.log = slog.Default()
 	}
+	// Route-level energy estimates from the paper's §IV-C model, priced
+	// once at build time (millijoules per image on Profile).
+	fullCost, directCost := p.Cost(), p.DirectCost()
+	if e, err := core.EnergyPerImage(prof, prof.Latency(fullCost), prof.KernelTime(fullCost)); err == nil {
+		s.fullEnergyMJ = e * 1e3
+	}
+	if e, err := core.EnergyPerImage(prof, prof.Latency(directCost), prof.KernelTime(directCost)); err == nil {
+		s.directEnergyMJ = e * 1e3
+	}
+
+	// Flight recorder first (the SLO monitor's trip callback lands on it);
+	// its dump context closes over s, attached after construction.
+	s.flight = flight.New(flight.Config{Dir: opts.FlightDir})
+	s.flight.SetContext(s.flightContext)
+	// Route the server's own records through the flight log tee so dumps
+	// always carry the request-log tail; cmd/cbnet-serve additionally
+	// funnels the process default logger through the same buffer.
+	s.log = slog.New(s.flight.Logs().Wrap(s.log.Handler()))
+
+	now := time.Now()
+	s.availT = mustTracker(slo.Config{Objective: slo.Objective{
+		Name:        "availability",
+		Target:      opts.SLOAvailability,
+		Description: "non-5xx responses over all terminal responses",
+	}}, now)
+	s.latT = mustTracker(slo.Config{Objective: slo.Objective{
+		Name:        "latency",
+		Target:      0.99,
+		Description: fmt.Sprintf("successful responses within %v wall time", opts.SLOLatencyP99),
+	}}, now)
+	s.sloMon = slo.NewMonitor([]*slo.Tracker{s.availT, s.latT}, func(tp slo.Trip) {
+		s.log.Warn("slo burn-rate trip",
+			"slo", tp.Objective, "window", tp.Window,
+			"burnRate", tp.BurnRate, "threshold", tp.Threshold,
+			"good", tp.Good, "bad", tp.Bad)
+		s.flight.Trip(tp.String())
+	})
+	s.sloMon.Start(time.Second)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -114,12 +210,59 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 	return s
 }
 
+// mustTracker builds an SLO tracker, falling back to the objective's
+// defaults on config error (targets are validated by the callers above, so
+// this only guards future drift).
+func mustTracker(cfg slo.Config, now time.Time) *slo.Tracker {
+	t, err := slo.NewTracker(cfg, now)
+	if err != nil {
+		cfg.Objective.Target = 0.999
+		t, _ = slo.NewTracker(cfg, now)
+	}
+	return t
+}
+
+// FlightLogs returns the flight recorder's slog tee; wrap the process
+// logger's handler with it so dumps carry the last N log records.
+func (s *Server) FlightLogs() *flight.LogBuffer { return s.flight.Logs() }
+
+// flightContext gathers the correlated state attached to every flight
+// dump: engine queue gauges, per-worker span tracks, and SLO snapshots.
+func (s *Server) flightContext() map[string]any {
+	tracks := s.Engine.TraceTracks()
+	spans := make([]map[string]any, 0, len(tracks))
+	for _, tr := range tracks {
+		rendered := make([]map[string]any, 0, len(tr.Spans))
+		for _, sp := range tr.Spans {
+			rendered = append(rendered, map[string]any{
+				"id":      sp.ID,
+				"ref":     sp.Ref,
+				"kind":    sp.Kind.String(),
+				"name":    sp.Name.String(),
+				"step":    sp.Step,
+				"batch":   sp.Batch,
+				"startMs": float64(sp.Start) / 1e6,
+				"durMs":   float64(sp.Dur) / 1e6,
+			})
+		}
+		spans = append(spans, map[string]any{"track": tr.Name, "spans": rendered})
+	}
+	return map[string]any{
+		"stats": s.Engine.Stats(),
+		"slo":   s.sloMon.Snapshot(time.Now()),
+		"spans": spans,
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the inference engine; in-flight requests complete, new ones
-// get 503.
-func (s *Server) Close() { s.Engine.Close() }
+// Close stops the SLO monitor and drains the inference engine; in-flight
+// requests complete, new ones get 503.
+func (s *Server) Close() {
+	s.sloMon.Stop()
+	s.Engine.Close()
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -167,7 +310,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", metrics.PromContentType)
 	if err := s.Engine.WritePrometheus(w); err != nil {
 		s.log.Warn("metrics exposition failed", "err", err)
+		return
 	}
+	if err := s.writeSLOMetrics(w); err != nil {
+		s.log.Warn("slo exposition failed", "err", err)
+	}
+}
+
+// writeSLOMetrics appends the SLO monitor's series to the exposition.
+func (s *Server) writeSLOMetrics(w io.Writer) error {
+	p := metrics.NewPromWriter(w)
+	var budget, burn, trips []metrics.VecSample
+	for _, o := range s.sloMon.Snapshot(time.Now()) {
+		budget = append(budget, metrics.VecSample{
+			Labels: metrics.Labels{metrics.L("slo", o.Objective)},
+			Value:  o.BudgetRemaining,
+		})
+		for _, win := range o.Windows {
+			ls := metrics.Labels{metrics.L("slo", o.Objective), metrics.L("window", win.Window)}
+			burn = append(burn, metrics.VecSample{Labels: ls, Value: win.BurnRate})
+			trips = append(trips, metrics.VecSample{Labels: ls, Value: float64(win.Trips)})
+		}
+	}
+	p.GaugeVec("cbnet_slo_budget_remaining", "Unspent error-budget fraction per objective over the longest burn window (1 untouched, <=0 exhausted).", budget)
+	p.GaugeVec("cbnet_slo_burn_rate", "Error-budget burn rate per objective and look-back window (1 = budget spent exactly at its sustainable rate).", burn)
+	p.CounterVec("cbnet_slo_window_violations_total", "Burn-rate threshold crossings (rising edges) per objective and window.", trips)
+	return p.Err()
+}
+
+// SLOResponse is the GET /slo verdict.
+type SLOResponse struct {
+	At time.Time `json:"at"`
+	// Overall is the worst objective state: "ok", "burning", "exhausted".
+	Overall    string         `json:"overall"`
+	Objectives []slo.Snapshot `json:"objectives"`
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	resp := SLOResponse{At: now, Overall: "ok"}
+	rank := map[string]int{"ok": 0, "burning": 1, "exhausted": 2}
+	for _, o := range s.sloMon.Snapshot(now) {
+		if rank[o.State] > rank[resp.Overall] {
+			resp.Overall = o.State
+		}
+		resp.Objectives = append(resp.Objectives, o)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Snapshot("http"))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
@@ -204,91 +397,146 @@ type ClassifyResponse struct {
 	// including batching queue wait.
 	ModelLatencyMS float64 `json:"modelLatencyMs"`
 	WallLatencyMS  float64 `json:"wallLatencyMs"`
+	// EnergyEstimateMJ is the paper's §IV-C energy model evaluated for the
+	// route taken on the server's device profile, in millijoules/image.
+	EnergyEstimateMJ float64 `json:"energyEstimateMj"`
 	// QueueWaitMS is the time spent coalescing before the forward pass.
 	QueueWaitMS float64   `json:"queueWaitMs"`
 	Converted   []float32 `json:"converted,omitempty"`
 }
 
+// failClassify answers one failed /classify request: the error body and
+// the log record both carry the request ID, the availability SLO sees the
+// outcome (bad = 5xx), and the flight ring records the rejection.
+func (s *Server) failClassify(w http.ResponseWriter, reqID uint64, status int, msg string) {
+	s.availT.Observe(status < 500)
+	kind := flight.KindError
+	if status == http.StatusServiceUnavailable {
+		kind = flight.KindReject
+	}
+	now := trace.Now()
+	s.flight.Record(flight.Event{T: now, Kind: kind, RequestID: reqID, Status: status})
+	if status == http.StatusServiceUnavailable {
+		// Feed the 503-burst detector (may auto-dump).
+		s.flight.NoteReject(now)
+	}
+	s.log.Warn("classify failed", "requestId", reqID, "status", status, "err", msg)
+	writeError(w, status, reqID, msg)
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	// The request ID is issued before decoding so every outcome —
+	// including 400/413 rejections that never reach the engine — carries
+	// a correlatable requestId in its response, logs, and flight events.
+	reqID := s.Engine.IssueRequestID()
 	var pixels []float32
 	var includeConverted bool
 	switch ct := r.Header.Get("Content-Type"); {
 	case ct == "image/png":
 		img, err := png.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding png: %v", err))
+			s.failClassify(w, reqID, decodeStatus(err), fmt.Sprintf("decoding png: %v", err))
 			return
 		}
 		pixels, err = pngToPixels(img)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			s.failClassify(w, reqID, http.StatusBadRequest, err.Error())
 			return
 		}
 	default:
 		var req ClassifyRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding json: %v", err))
+			s.failClassify(w, reqID, decodeStatus(err), fmt.Sprintf("decoding json: %v", err))
 			return
 		}
 		pixels = req.Pixels
 		includeConverted = req.IncludeConverted
 	}
 	if len(pixels) != dataset.Pixels {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("got %d pixels, want %d", len(pixels), dataset.Pixels))
+		s.failClassify(w, reqID, http.StatusBadRequest, fmt.Sprintf("got %d pixels, want %d", len(pixels), dataset.Pixels))
 		return
 	}
 	for i, v := range pixels {
 		if v < 0 || v > 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("pixel %d = %v outside [0,1]", i, v))
+			s.failClassify(w, reqID, http.StatusBadRequest, fmt.Sprintf("pixel %d = %v outside [0,1]", i, v))
 			return
 		}
 	}
 
+	s.flight.Record(flight.Event{T: trace.Now(), Kind: flight.KindAdmit, RequestID: reqID})
 	start := time.Now()
 	res, err := s.Engine.Submit(r.Context(), engine.Request{
+		ID:               reqID,
 		Pixels:           pixels,
 		IncludeConverted: includeConverted,
 	})
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrOverloaded):
-		s.log.Warn("classify rejected", "reason", "overloaded")
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "engine overloaded, retry later")
+		// Back-off hint derived from live queue depth and the engine's
+		// observed service rate, so clients wait proportionally to real
+		// overload.
+		w.Header().Set("Retry-After", strconv.Itoa(s.Engine.RetryAfterSeconds()))
+		s.failClassify(w, reqID, http.StatusServiceUnavailable, "engine overloaded, retry later")
 		return
 	case errors.Is(err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.failClassify(w, reqID, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client has gone away; any status we write is best-effort.
+		// The abandoned slot still consumed capacity, so it counts
+		// against availability like other 5xx outcomes.
+		s.failClassify(w, reqID, http.StatusServiceUnavailable, err.Error())
 		return
 	default:
-		// Context cancellation means the client has gone away; any status
-		// we write is best-effort.
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.failClassify(w, reqID, http.StatusInternalServerError, err.Error())
 		return
 	}
 	wall := time.Since(start)
+	wallMS := float64(wall.Microseconds()) / 1e3
+
+	modelMS, energyMJ, routeID := s.fullLatencyMS, s.fullEnergyMJ, s.routeHardID
+	if res.Route == string(engine.RouteEasy) {
+		modelMS, energyMJ, routeID = s.directLatencyMS, s.directEnergyMJ, s.routeEasyID
+	}
+
+	s.availT.Observe(true)
+	s.latT.Observe(wallMS <= s.latTargetMS)
+	s.flight.Record(flight.Event{
+		T: trace.Now(), Kind: flight.KindComplete, RequestID: reqID,
+		Route: routeID, Status: http.StatusOK, DurNs: int64(wall), BatchSize: res.BatchSize,
+	})
 	s.log.Debug("classify",
-		"requestID", res.RequestID,
+		"requestId", reqID,
 		"route", res.Route,
 		"batchSize", res.BatchSize,
 		"class", res.Class,
-		"wallMs", float64(wall.Microseconds())/1e3)
+		"wallMs", wallMS,
+		"energyMj", energyMJ)
 
-	modelMS := s.fullLatencyMS
-	if res.Route == string(engine.RouteEasy) {
-		modelMS = s.directLatencyMS
-	}
 	resp := ClassifyResponse{
-		RequestID:      res.RequestID,
-		Class:          res.Class,
-		Route:          res.Route,
-		Hardness:       res.Hardness,
-		BatchSize:      res.BatchSize,
-		ModelLatencyMS: modelMS,
-		WallLatencyMS:  float64(wall.Microseconds()) / 1e3,
-		QueueWaitMS:    float64(res.QueueWait.Microseconds()) / 1e3,
-		Converted:      res.Converted,
+		RequestID:        res.RequestID,
+		Class:            res.Class,
+		Route:            res.Route,
+		Hardness:         res.Hardness,
+		BatchSize:        res.BatchSize,
+		ModelLatencyMS:   modelMS,
+		WallLatencyMS:    wallMS,
+		EnergyEstimateMJ: energyMJ,
+		QueueWaitMS:      float64(res.QueueWait.Microseconds()) / 1e3,
+		Converted:        res.Converted,
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeStatus maps a body-decode error to 413 when the 1 MiB request cap
+// was hit, 400 otherwise.
+func decodeStatus(err error) int {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // pngToPixels converts a decoded PNG to a flattened grayscale [0,1] image.
@@ -317,6 +565,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func writeError(w http.ResponseWriter, status int, reqID uint64, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "requestId": reqID})
 }

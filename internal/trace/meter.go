@@ -22,7 +22,7 @@ type Meter struct {
 }
 
 type stepKey struct {
-	plan, step string
+	scope, plan, step string
 }
 
 // NewMeter builds an empty meter.
@@ -35,9 +35,17 @@ func NewMeter() *Meter {
 // per-execution parameter traffic); the atomic counters accumulate actual
 // executions.
 type StepStats struct {
+	// Scope separates otherwise-identical series, e.g. the engine route
+	// ("easy"/"hard") a worker's plans execute under. Empty for unscoped
+	// use (profiling loops, direct pipeline calls).
+	Scope string
 	Plan  string
 	Step  string
 	Index int
+	// Op is the step's operation class ("dense", "conv", "pool", "act"),
+	// used by the energy model to pick the matching device rate. Empty
+	// when the caller didn't attach one.
+	Op string
 
 	// FLOPsPerImage is the modelled work per sample.
 	FLOPsPerImage int64
@@ -52,21 +60,30 @@ type StepStats struct {
 	images atomic.Int64
 }
 
-// Step returns the shared stats handle for (plan, step), creating it on
-// first use. Cold path only. A nil meter returns nil, which Observe
-// tolerates.
+// Step returns the shared stats handle for (plan, step) in the empty
+// scope, creating it on first use. Cold path only. A nil meter returns
+// nil, which Observe tolerates.
 func (m *Meter) Step(plan, step string, index int, flopsPerImage, bytesPerImage, fixedBytes int64) *StepStats {
+	return m.ScopedStep("", "", plan, step, index, flopsPerImage, bytesPerImage, fixedBytes)
+}
+
+// ScopedStep is Step with a scope (typically the engine route the plan
+// executes under) and the step's operation class attached, so downstream
+// consumers — the route-labelled /metrics series and the per-op energy
+// model — can tell identical plans on different routes apart. Cold path
+// only.
+func (m *Meter) ScopedStep(scope, op, plan, step string, index int, flopsPerImage, bytesPerImage, fixedBytes int64) *StepStats {
 	if m == nil {
 		return nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := stepKey{plan, step}
+	k := stepKey{scope, plan, step}
 	if s, ok := m.index[k]; ok {
 		return s
 	}
 	s := &StepStats{
-		Plan: plan, Step: step, Index: index,
+		Scope: scope, Plan: plan, Step: step, Index: index, Op: op,
 		FLOPsPerImage: flopsPerImage, BytesPerImage: bytesPerImage, FixedBytes: fixedBytes,
 	}
 	m.index[k] = s
@@ -87,14 +104,23 @@ func (s *StepStats) Observe(ns int64, n int) {
 
 // StepSnapshot is a point-in-time read of one step's cumulative series.
 type StepSnapshot struct {
+	Scope  string
 	Plan   string
 	Step   string
 	Index  int
+	Op     string
 	Execs  int64
 	Images int64
 	Nanos  int64
 	FLOPs  int64 // Images × FLOPsPerImage
 	Bytes  int64 // Images × BytesPerImage + Execs × FixedBytes
+
+	// The compile-time cost model, carried through so consumers (the
+	// energy projector) can cost hypothetical executions without
+	// re-deriving per-image figures from the cumulative counters.
+	FLOPsPerImage int64
+	BytesPerImage int64
+	FixedBytes    int64
 }
 
 // GFLOPS returns the cumulative achieved compute rate.
@@ -114,8 +140,9 @@ func (s StepSnapshot) Intensity() float64 {
 	return float64(s.FLOPs) / float64(s.Bytes)
 }
 
-// Snapshot returns every step series ordered by plan name then step index —
-// the stable order both /metrics and the profiling table render in.
+// Snapshot returns every step series ordered by plan name, step index,
+// then scope — the stable order both /metrics and the profiling table
+// render in.
 func (m *Meter) Snapshot() []StepSnapshot {
 	if m == nil {
 		return nil
@@ -127,17 +154,21 @@ func (m *Meter) Snapshot() []StepSnapshot {
 	for _, s := range series {
 		execs, images, ns := s.execs.Load(), s.images.Load(), s.ns.Load()
 		out = append(out, StepSnapshot{
-			Plan: s.Plan, Step: s.Step, Index: s.Index,
+			Scope: s.Scope, Plan: s.Plan, Step: s.Step, Index: s.Index, Op: s.Op,
 			Execs: execs, Images: images, Nanos: ns,
-			FLOPs: images * s.FLOPsPerImage,
-			Bytes: images*s.BytesPerImage + execs*s.FixedBytes,
+			FLOPs:         images * s.FLOPsPerImage,
+			Bytes:         images*s.BytesPerImage + execs*s.FixedBytes,
+			FLOPsPerImage: s.FLOPsPerImage, BytesPerImage: s.BytesPerImage, FixedBytes: s.FixedBytes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Plan != out[j].Plan {
 			return out[i].Plan < out[j].Plan
 		}
-		return out[i].Index < out[j].Index
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Scope < out[j].Scope
 	})
 	return out
 }
