@@ -11,10 +11,18 @@
 //	cbnet-bench -exp perf -diff BENCH_x.json  # fail on >20% regression vs snapshot
 //	cbnet-bench -exp profile               # per-plan-step time/GFLOPS tables
 //	cbnet-bench -exp energy                # projected joules per model × device
+//	cbnet-bench -exp overload              # flash-crowd chaos drill: ladder vs baseline
 //
 // Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, profile,
-// energy, all ("all" covers the paper experiments; perf, profile, and
-// energy run only when asked).
+// energy, overload, all ("all" covers the paper experiments; perf, profile,
+// energy, and overload run only when asked).
+//
+// "overload" throws the same 5×-capacity trapezoidal flash crowd (chaos
+// latency injection pins per-route capacity) at two identical engines —
+// one with the graceful-degradation ladder armed, one without — and fails
+// unless the ladder rides full → early-exit → pruned and back, keeps p99
+// under the request deadline, and rejects ≥10× fewer requests than the
+// baseline. It is the CI chaos smoke's first gate.
 //
 // "profile" compiles every shipped model into an execution plan with
 // per-step tracing attached, runs warm batches, and prints a table per
@@ -73,6 +81,14 @@ func main() {
 
 	if *exp == "energy" {
 		if err := runEnergy(os.Stdout, 16, 50); err != nil {
+			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "overload" {
+		if err := runOverload(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
 			os.Exit(1)
 		}

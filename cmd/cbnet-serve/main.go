@@ -9,6 +9,14 @@
 //	     -d '{"pixels": [ ...784 floats... ]}'
 //	curl localhost:8080/stats
 //
+// -degrade arms the graceful-degradation autopilot: the server mounts a
+// pruned early-exit variant as an extra engine route and walks the ladder
+// full → early-exit → pruned → shed as SLO burn or queue pressure rises
+// (watch cbnet_degrade_level on /metrics). -default-deadline bounds each
+// request's end-to-end time; clients override per request with the
+// X-CBNet-Deadline-Ms header. The -chaos-* flags wire a fault injector into
+// the inference path for overload drills — never enable them in production.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
 // requests drain through the engine, then the process exits.
 package main
@@ -23,9 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"cbnet/internal/chaos"
+	"cbnet/internal/compress"
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/device"
@@ -54,6 +65,14 @@ func main() {
 		sloP99    = flag.Duration("slo-p99", 50*time.Millisecond, "latency SLO: 99% of successful requests complete within this wall time")
 		sloAvail  = flag.Float64("slo-availability", 0.999, "availability SLO target in (0,1): non-5xx responses over all terminal responses")
 		flightDir = flag.String("flight-dir", "", "directory for flight-recorder auto-dumps on SLO burn trips and 503 bursts (empty keeps dumps in memory, served at /debug/flight)")
+
+		deadline        = flag.Duration("default-deadline", 0, "per-request deadline applied when the client sends no X-CBNet-Deadline-Ms header (0 = none)")
+		degrade         = flag.Bool("degrade", false, "enable the graceful-degradation ladder: full -> early-exit -> pruned -> shed, driven by SLO burn and queue pressure")
+		degradeInterval = flag.Duration("degrade-interval", 100*time.Millisecond, "degradation controller evaluation period")
+
+		chaosLatency    = flag.String("chaos-infer-latency", "", "inject per-batch inference latency, e.g. 'hard=12ms,easy=4ms' ('all=...' sets the default); drills only")
+		chaosErrEvery   = flag.Int64("chaos-error-every", 0, "fail every Nth inference batch with an injected error (0 = off); drills only")
+		chaosPanicEvery = flag.Int64("chaos-panic-every", 0, "panic every Nth inference batch to exercise worker recovery (0 = off); drills only")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -69,6 +88,23 @@ func main() {
 		QueueDepth:        *queue,
 		HardnessThreshold: *threshold,
 		DisableRouting:    *noRoute,
+		Degrade:           engine.DegradeConfig{Enabled: *degrade, Interval: *degradeInterval},
+	}
+	if *chaosLatency != "" || *chaosErrEvery > 0 || *chaosPanicEvery > 0 {
+		inj := chaos.NewInjector()
+		lats, err := parseChaosLatency(*chaosLatency)
+		if err != nil {
+			logger.Error("exiting", "err", err)
+			os.Exit(1)
+		}
+		for route, d := range lats {
+			inj.SetLatency(route, d)
+		}
+		inj.SetErrorEvery(*chaosErrEvery)
+		inj.SetPanicEvery(*chaosPanicEvery)
+		cfg.Fault = inj
+		logger.Warn("chaos injection armed — drills only, never production",
+			"latency", *chaosLatency, "errorEvery", *chaosErrEvery, "panicEvery", *chaosPanicEvery)
 	}
 	opts := serve.Options{
 		EnablePprof:     *pprofOn,
@@ -76,6 +112,7 @@ func main() {
 		SLOLatencyP99:   *sloP99,
 		SLOAvailability: *sloAvail,
 		FlightDir:       *flightDir,
+		DefaultDeadline: *deadline,
 	}
 	if *sloAvail <= 0 || *sloAvail >= 1 {
 		logger.Error("exiting", "err", fmt.Errorf("slo-availability %v must be in (0,1)", *sloAvail))
@@ -103,6 +140,31 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("log-format %q: want text or json", format)
 	}
+}
+
+// parseChaosLatency parses a "route=duration,route=duration" injection
+// spec; the pseudo-route "all" sets the default latency applied to routes
+// without a specific entry.
+func parseChaosLatency(spec string) (map[string]time.Duration, error) {
+	out := make(map[string]time.Duration)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		route, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || route == "" {
+			return nil, fmt.Errorf("chaos-infer-latency: %q is not route=duration", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("chaos-infer-latency: bad duration in %q", part)
+		}
+		if route == "all" {
+			route = ""
+		}
+		out[route] = d
+	}
+	return out, nil
 }
 
 // validateEngineConfig rejects nonsensical flag combinations before the
@@ -157,6 +219,24 @@ func buildServer(ckpt, name, devName string, cfg engine.Config, opts serve.Optio
 		}
 	}
 	pipe := &core.Pipeline{AE: ae, Classifier: models.ExtractLightweight(branchy)}
+	if cfg.Degrade.Enabled {
+		// The ladder's third rung is a structurally-pruned copy of the
+		// early-exit network, mounted as a first-class engine route. It
+		// shares no tensors with the serving classifier, so pruning cannot
+		// perturb the healthy path.
+		pruned, err := compress.PruneLightweight(pipe.Classifier,
+			compress.LightweightPruneConfig{Conv1Keep: 2. / 3., BranchKeep: 2. / 3.})
+		if err != nil {
+			return nil, fmt.Errorf("building pruned degrade rung: %w", err)
+		}
+		cfg.Variants = append(cfg.Variants, engine.Variant{Name: "pruned", Net: pruned})
+		cfg.Degrade.Ladder = []engine.DegradeRung{
+			{Name: "full"},
+			{Name: "exit", Route: engine.RouteEasy},
+			{Name: "pruned", Route: "pruned"},
+			{Name: "shed", Shed: true},
+		}
+	}
 	return serve.NewWithOptions(pipe, engine.New(pipe, cfg), prof, family, opts), nil
 }
 
@@ -190,6 +270,8 @@ func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options
 		"sloP99", opts.SLOLatencyP99,
 		"sloAvailability", opts.SLOAvailability,
 		"flightDir", opts.FlightDir,
+		"defaultDeadline", opts.DefaultDeadline,
+		"degradeLadder", srv.Engine.DegradeLadder(),
 		"demo", demo)
 	if demo {
 		slog.Warn("demo mode: pipeline is untrained, predictions are meaningless")

@@ -83,6 +83,52 @@ func TestBuildServerFromCheckpoints(t *testing.T) {
 	}
 }
 
+func TestParseChaosLatency(t *testing.T) {
+	lats, err := parseChaosLatency("hard=12ms, easy=4ms,all=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lats["hard"] != 12*time.Millisecond || lats["easy"] != 4*time.Millisecond {
+		t.Fatalf("per-route latencies %v", lats)
+	}
+	if lats[""] != time.Millisecond {
+		t.Fatalf("'all' should map to the default entry, got %v", lats)
+	}
+	if got, _ := parseChaosLatency(""); len(got) != 0 {
+		t.Fatalf("empty spec should parse to no entries, got %v", got)
+	}
+	for _, bad := range []string{"hard", "=5ms", "hard=banana", "hard=-1ms"} {
+		if _, err := parseChaosLatency(bad); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
+}
+
+func TestBuildServerMountsDegradeLadder(t *testing.T) {
+	dir := t.TempDir()
+	writeCheckpoints(t, dir, dataset.MNIST)
+	cfg := engine.Config{
+		Workers:           1,
+		HardnessThreshold: engine.DefaultHardnessThreshold,
+		Degrade:           engine.DegradeConfig{Enabled: true, Interval: time.Hour},
+	}
+	srv, err := buildServer(dir, "mnist", "RaspberryPi4", cfg, serve.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ladder := srv.Engine.DegradeLadder()
+	want := []string{"full", "exit", "pruned", "shed"}
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder %v, want %v", ladder, want)
+	}
+	for i := range want {
+		if ladder[i] != want[i] {
+			t.Fatalf("ladder %v, want %v", ladder, want)
+		}
+	}
+}
+
 func TestBuildServerRejectsUnknownDataset(t *testing.T) {
 	if _, err := buildServer(t.TempDir(), "svhn", "RaspberryPi4", engine.Config{}, serve.Options{}, false); err == nil {
 		t.Fatal("expected dataset error")

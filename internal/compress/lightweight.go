@@ -1,0 +1,93 @@
+package compress
+
+import (
+	"fmt"
+
+	"cbnet/internal/nn"
+)
+
+// LightweightPruneConfig sets the fraction of stem (conv1) and branch
+// (bconv) channels kept when pruning the lightweight early-exit network.
+// The 10-way output stays intact.
+type LightweightPruneConfig struct {
+	Conv1Keep, BranchKeep float64
+}
+
+func (c LightweightPruneConfig) validate() error {
+	for _, f := range []float64{c.Conv1Keep, c.BranchKeep} {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("compress: keep fraction %v outside (0,1]", f)
+		}
+	}
+	return nil
+}
+
+// String renders the config compactly for reports.
+func (c LightweightPruneConfig) String() string {
+	return fmt.Sprintf("conv1=%.2f branch=%.2f", c.Conv1Keep, c.BranchKeep)
+}
+
+// PruneLightweight builds a structurally-pruned copy of the lightweight
+// network (models.ExtractLightweight's stem+branch layout): the most
+// important channels by L1 weight norm survive in conv1 and bconv, and the
+// branch classifier's input weights are re-sliced to match. This is the
+// degradation ladder's cheapest non-shedding rung — the full LeNet's
+// pruned variants never undercut the early exit's ~10% cost, but pruning
+// the exit itself does. The original network is not modified; the copy has
+// fresh parameter tensors and can be fine-tuned.
+func PruneLightweight(light *nn.Sequential, cfg LightweightPruneConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var conv1, bconv *nn.Conv2D
+	var bfc *nn.Dense
+	for _, l := range light.Layers {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			switch t.LayerName {
+			case "conv1":
+				conv1 = t
+			case "bconv":
+				bconv = t
+			}
+		case *nn.Dense:
+			if t.LayerName == "bfc" {
+				bfc = t
+			}
+		}
+	}
+	if conv1 == nil || bconv == nil || bfc == nil {
+		return nil, fmt.Errorf("compress: network does not have the lightweight (stem+branch) layout")
+	}
+	keep1 := topKByImportance(conv1.W.Value, keepCount(conv1.OutC, cfg.Conv1Keep))
+	keepB := topKByImportance(bconv.W.Value, keepCount(bconv.OutC, cfg.BranchKeep))
+
+	conv1p := sliceConvOutputs(conv1, keep1)
+	bconvIn, err := sliceConvInputs(bconv, keep1)
+	if err != nil {
+		return nil, err
+	}
+	bconvP := sliceConvOutputs(bconvIn, keepB)
+	// bpool emits 6×6 spatial per surviving branch channel, so the branch
+	// classifier's input features are the kept channels expanded
+	// channel-major over the 36 positions.
+	bfcP := sliceDense(bfc, expandChannelsToFlat(keepB, 6*6), nil)
+
+	pool1, err := nn.NewMaxPool2D("pool1~p", len(keep1), 28, 28, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	bpool, err := nn.NewMaxPool2D("bpool~p", len(keepB), 12, 12, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	return nn.NewSequential("lightweight-pruned",
+		conv1p,
+		nn.NewReLU("relu1~p"),
+		pool1,
+		bconvP,
+		nn.NewReLU("brelu~p"),
+		bpool,
+		bfcP,
+	), nil
+}

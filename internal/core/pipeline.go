@@ -87,6 +87,19 @@ func (p *Pipeline) ClassifierPlans(batchCap int) (*PlanSet, error) {
 	return &PlanSet{cls: cls, cap: batchCap}, nil
 }
 
+// PlanSetFor compiles a standalone pixels→logits network (a pruned or
+// early-exit family member from internal/compress or models) into a
+// classifier-only plan set, so the engine can host it as a variant route
+// with the exact worker wiring the built-in routes use. Convert and
+// InferInto panic on such a set, like on ClassifierPlans.
+func PlanSetFor(net *nn.Sequential, batchCap int) (*PlanSet, error) {
+	cls, err := nn.Compile(net, batchCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s plan: %w", net.Name(), err)
+	}
+	return &PlanSet{cls: cls, cap: batchCap}, nil
+}
+
 // BatchCap returns the largest batch the set's plans accept.
 func (ps *PlanSet) BatchCap() int { return ps.cap }
 

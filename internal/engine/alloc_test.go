@@ -38,7 +38,7 @@ func TestRunBatchZeroAlloc(t *testing.T) {
 
 	batch := make([]*request, n)
 	for i := range batch {
-		batch[i] = &request{id: uint64(i), pixels: hardImage(uint64(i)), done: make(chan Result, 1)}
+		batch[i] = &request{id: uint64(i), pixels: hardImage(uint64(i)), done: make(chan outcome, 1)}
 	}
 	batch[0].tOpen = 1 // exercise the batch-form span emission too
 	run := func() {

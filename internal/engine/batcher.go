@@ -10,7 +10,7 @@ import (
 	"cbnet/internal/trace"
 )
 
-// RouteName identifies one of the engine's two inference paths.
+// RouteName identifies one of the engine's inference paths.
 type RouteName string
 
 const (
@@ -25,6 +25,10 @@ const (
 // that skip the autoencoder. Both results are plan- or arena-owned and only
 // valid until the worker's next batch.
 type inferFn func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor)
+
+// planFn compiles the route's PlanSet at a given batch capacity; a worker
+// that fails to compile falls back to the dynamic scratch path.
+type planFn func(batchCap int) (*core.PlanSet, error)
 
 // worker is one inference goroutine's private state. The serving path runs
 // on compiled execution plans — ps holds the worker's own PlanSet, sized to
@@ -55,21 +59,50 @@ type route struct {
 	name    RouteName
 	queue   chan *request   // admission-bounded; closed by Engine.Close
 	batches chan []*request // formed micro-batches; closed by the batcher
+	plans   planFn
 	infer   inferFn
 	stats   *routeStats
+	started bool // true once startRoute has launched its goroutines
 }
 
-func (e *Engine) newRoute(name RouteName, infer inferFn) *route {
-	return &route{
+// newRoute constructs a route and registers it; startRoute actually
+// launches its batcher and workers. The split lets DisableRouting keep
+// unused routes constructed (so Close can close their queues uniformly)
+// without idling goroutines on them.
+func (e *Engine) newRoute(name RouteName, plans planFn, infer inferFn) *route {
+	rt := &route{
 		name:  name,
 		queue: make(chan *request, e.cfg.QueueDepth),
 		// Unbuffered on purpose: a send succeeds exactly when a worker is
 		// parked in receive, which is what makes the batcher
 		// work-conserving (see batchLoop).
 		batches: make(chan []*request),
+		plans:   plans,
 		infer:   infer,
 		stats:   e.stats.route(name),
 	}
+	e.routes = append(e.routes, rt)
+	e.byName[name] = rt
+	return rt
+}
+
+// liveRoutes returns the routes actually serving traffic, in registration
+// order (easy, hard, then variants). Fixed at New, so callers may iterate
+// without locking.
+func (e *Engine) liveRoutes() []*route { return e.live }
+
+// shedExpired answers a request whose deadline passed while it sat in the
+// admission queue: the caller gets ErrDeadline and the request never
+// occupies a batch slot. Returns true when the request was shed.
+func (e *Engine) shedExpired(rt *route, r *request) bool {
+	if r.ctx == nil || r.ctx.Err() == nil {
+		return false
+	}
+	rt.stats.queued.Add(-1)
+	rt.stats.inflight.Add(-1)
+	e.stats.expired.Inc()
+	r.done <- outcome{err: ErrDeadline}
+	return true
 }
 
 // batchLoop is the route's single coalescing goroutine. A batch opens when
@@ -83,9 +116,10 @@ func (e *Engine) newRoute(name RouteName, infer inferFn) *route {
 //
 // Batches therefore form exactly while all workers are occupied: under
 // load they grow toward MaxBatch, and a lone request on an idle engine is
-// dispatched immediately. When the queue closes (engine shutdown) the loop
-// flushes whatever is pending and exits, so every admitted request is
-// always answered.
+// dispatched immediately. Requests whose context already expired are shed
+// here, at batch formation, instead of wasting a worker slot. When the
+// queue closes (engine shutdown) the loop flushes whatever is pending and
+// exits, so every admitted request is always answered.
 func (e *Engine) batchLoop(rt *route) {
 	defer e.wg.Done()
 	defer close(rt.batches)
@@ -104,6 +138,9 @@ func (e *Engine) batchLoop(rt *route) {
 		if !ok {
 			return
 		}
+		if e.shedExpired(rt, first) {
+			continue
+		}
 		first.tOpen = trace.Now()
 		batch := append(make([]*request, 0, e.cfg.MaxBatch), first)
 		timer.Reset(e.cfg.MaxWait)
@@ -117,7 +154,9 @@ func (e *Engine) batchLoop(rt *route) {
 					rt.batches <- batch
 					return
 				}
-				batch = append(batch, r)
+				if !e.shedExpired(rt, r) {
+					batch = append(batch, r)
+				}
 				continue
 			default:
 			}
@@ -137,7 +176,9 @@ func (e *Engine) batchLoop(rt *route) {
 					rt.batches <- batch
 					return
 				}
-				batch = append(batch, r)
+				if !e.shedExpired(rt, r) {
+					batch = append(batch, r)
+				}
 			case rt.batches <- batch:
 				sent = true
 			case <-timer.C:
@@ -157,7 +198,8 @@ func (e *Engine) batchLoop(rt *route) {
 // Each worker owns one compiled PlanSet for its lifetime, so steady-state
 // batches run a flat precompiled step loop with zero heap allocations; a
 // pipeline the plan compiler cannot handle demotes the worker to a private
-// scratch arena running the dynamic path.
+// scratch arena running the dynamic path. A panicking forward pass fails
+// only that batch's callers (see safeInfer) — the worker survives.
 func (e *Engine) workerLoop(rt *route, idx int) {
 	defer e.wg.Done()
 	w := e.newWorker(rt, idx)
@@ -183,16 +225,7 @@ func (e *Engine) newWorker(rt *route, idx int) *worker {
 	}
 	w.x = tensor.Tensor{Shape: []int{0, dataset.Pixels}}
 	e.registerTrack(fmt.Sprintf("%s/worker%d", rt.name, idx), w.rec)
-	// Easy-route workers never run the autoencoder, so they compile only
-	// the classifier plan and skip the AE plan's buffer entirely.
-	var ps *core.PlanSet
-	var err error
-	if rt.name == RouteEasy {
-		ps, err = e.pipe.ClassifierPlans(e.cfg.MaxBatch)
-	} else {
-		ps, err = e.pipe.Plans(e.cfg.MaxBatch)
-	}
-	if err == nil {
+	if ps, err := rt.plans(e.cfg.MaxBatch); err == nil {
 		ps.EnableTracingScoped(w.rec, e.meter, string(rt.name))
 		w.ps = ps
 	} else {
@@ -201,12 +234,50 @@ func (e *Engine) newWorker(rt *route, idx int) *worker {
 	return w
 }
 
+// safeInfer runs the route's forward pass (after the fault-injection hook,
+// if any), converting a panic or injected error into ErrInferFailed so the
+// worker can fail the batch's callers and keep serving. The recover path
+// allocates; the happy path does not.
+func (e *Engine) safeInfer(rt *route, w *worker, x *tensor.Tensor) (logits, converted *tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			logits, converted = nil, nil
+			err = fmt.Errorf("%w: route %s: panic: %v", ErrInferFailed, rt.name, p)
+		}
+	}()
+	if e.fault != nil {
+		if ferr := e.fault.BeforeInfer(string(rt.name), x.Shape[0]); ferr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrInferFailed, ferr)
+		}
+	}
+	logits, converted = rt.infer(w, x)
+	return logits, converted, nil
+}
+
 // runBatch assembles the batch tensor in the worker's buffer, runs the
 // route's forward pass on its plans, and answers every request in the
 // batch. Everything a requester keeps (class, converted image) is
 // extracted or copied before the function returns, because the next batch
 // reuses the plan buffers.
 func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
+	// Last shed point: a deadline can expire between batch formation and a
+	// worker picking the batch up (all workers wedged). Compact the batch
+	// in place so dead requests don't ride the forward pass.
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			rt.stats.queued.Add(-1)
+			rt.stats.inflight.Add(-1)
+			e.stats.expired.Inc()
+			r.done <- outcome{err: ErrDeadline}
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	n := len(batch)
 	if w.s != nil {
 		w.s.Reset()
@@ -238,12 +309,25 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 	}
 
 	start := time.Now()
-	logits, converted := rt.infer(w, &w.x)
+	logits, converted, inferErr := e.safeInfer(rt, w, &w.x)
 	inferDur := time.Since(start)
-	logits.ArgMaxRows(preds)
 	tExec := trace.Now()
 	w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindExecute,
 		Name: w.routeName, Batch: n, Start: t0, Dur: tExec - t0})
+
+	if inferErr != nil {
+		// Fail this batch's callers and keep the worker alive; the next
+		// batch starts from a Reset scratch / fresh plan run.
+		e.stats.inferFailed.Add(int64(n))
+		for _, r := range batch {
+			r.done <- outcome{err: inferErr}
+		}
+		rt.stats.inflight.Add(-int64(n))
+		w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindRespond,
+			Name: w.routeName, Batch: n, Start: tExec, Dur: trace.Now() - tExec})
+		return
+	}
+	logits.ArgMaxRows(preds)
 
 	rt.stats.observeBatch(n, inferDur)
 	for i, r := range batch {
@@ -261,7 +345,7 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 		}
 		rt.stats.observeRequest(res.QueueWait)
 		e.stats.completed.Inc()
-		r.done <- res
+		r.done <- outcome{res: res}
 	}
 	rt.stats.inflight.Add(-int64(n))
 	w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindRespond,

@@ -16,9 +16,20 @@
 //     take the full AE+classifier path. Each route has its own batcher and
 //     workers so slow hard batches never stall easy traffic.
 //
+// Beyond the built-in easy/hard pair, the engine hosts a registry of
+// variant routes — arbitrary pixels→logits networks (pruned, early-exit,
+// SubFlow/AdaDeep family members) compiled into plans — and an optional
+// degradation controller that walks traffic down a quality ladder
+// (full → early-exit → pruned → shed) as SLO budget burns or queues fill,
+// climbing back when pressure clears. Overload then costs accuracy before
+// it costs availability.
+//
 // Admission is bounded: when a route's queue is full, Submit fails fast
 // with ErrOverloaded so the caller can shed load instead of piling up
-// goroutines. Close drains every accepted request before returning.
+// goroutines. Requests whose context is already expired are refused at
+// admission and shed again at batch formation (ErrDeadline), so a dead
+// request never occupies a batch slot. Close drains every accepted request
+// before returning.
 package engine
 
 import (
@@ -32,16 +43,29 @@ import (
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
+	"cbnet/internal/nn"
 	"cbnet/internal/tensor"
 	"cbnet/internal/trace"
 )
 
 // ErrOverloaded is returned by Submit when the target route's admission
-// queue is full. Callers should surface it as backpressure (HTTP 503).
+// queue is full, or when the degradation controller is at a shed rung.
+// Callers should surface it as backpressure (HTTP 503).
 var ErrOverloaded = errors.New("engine: overloaded, queue full")
 
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrDeadline is returned by Submit when the request's context deadline
+// had already expired at admission or by the time its batch formed; the
+// request consumed no inference capacity. Callers should surface it as a
+// timeout (HTTP 504), distinct from load shedding.
+var ErrDeadline = errors.New("engine: request deadline expired")
+
+// ErrInferFailed is returned by Submit when the batch's forward pass
+// failed — an injected fault or a recovered worker panic. The worker
+// survives; only the failing batch's callers see the error.
+var ErrInferFailed = errors.New("engine: inference failed")
 
 // DefaultHardnessThreshold splits easy from hard images on the
 // generalize.HardnessScore scale. Calibrated against the generator: clean
@@ -49,6 +73,28 @@ var ErrClosed = errors.New("engine: closed")
 // while degraded renders centre near 1.2; see the router tests for the
 // calibration check.
 const DefaultHardnessThreshold = 1.05
+
+// FaultInjector intercepts every batch just before its forward pass; the
+// chaos harness (internal/chaos) implements it to inject latency, errors,
+// and panics through the exact path real faults would take. A returned
+// error or a panic fails the batch's callers with ErrInferFailed; the
+// worker itself always survives.
+type FaultInjector interface {
+	BeforeInfer(route string, batchSize int) error
+}
+
+// Variant registers one extra inference route: a standalone pixels→logits
+// network from the compression family (pruned lightweight, SubFlow or
+// AdaDeep subnet, a different early exit). The engine compiles it into a
+// plan per worker exactly like the built-in routes; traffic reaches it via
+// a degradation-ladder rung that pins to its name.
+type Variant struct {
+	// Name labels the route in stats, metrics, and ladder rungs. Must be
+	// non-empty and distinct from "easy", "hard", and other variants.
+	Name RouteName
+	// Net maps a (batch × 784) pixel tensor to (batch × classes) logits.
+	Net *nn.Sequential
+}
 
 // Config tunes the engine. The zero value is usable: every field has a
 // sensible default applied by New.
@@ -71,13 +117,23 @@ type Config struct {
 	// every image use DisableRouting instead.
 	HardnessThreshold float64
 	// DisableRouting forces every request down the full AE+classifier
-	// path (the paper's always-convert baseline).
+	// path (the paper's always-convert baseline). Variant routes are not
+	// started and the degradation controller is forced off in this mode.
 	DisableRouting bool
 	// TraceRing is the capacity of each worker's span ring buffer
 	// (recent spans served by /debug/trace). Default 256. Tracing is
 	// always on — span emission is a handful of atomic stores per plan
 	// step, bounded at <2% of plan execution by the regression tests.
 	TraceRing int
+	// Variants adds extra compiled routes beyond the easy/hard pair.
+	// New panics on duplicate or reserved names and nil networks.
+	Variants []Variant
+	// Degrade configures the graceful-degradation controller; the zero
+	// value leaves it off.
+	Degrade DegradeConfig
+	// Fault, when non-nil, intercepts every batch before its forward pass
+	// (see FaultInjector). Testing and chaos drills only.
+	Fault FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +158,7 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
 	}
+	c.Degrade = c.Degrade.withDefaults()
 	return c
 }
 
@@ -127,10 +184,10 @@ type Result struct {
 	RequestID uint64
 	// Class is the predicted label.
 	Class int
-	// Route names the path taken ("easy" or "hard").
+	// Route names the path taken ("easy", "hard", or a variant name).
 	Route string
 	// Hardness is the request's heuristic score (0 when routing is
-	// disabled).
+	// disabled or the degradation ladder pinned the route).
 	Hardness float64
 	// BatchSize is the size of the micro-batch this request rode in.
 	BatchSize int
@@ -142,9 +199,17 @@ type Result struct {
 	Converted []float32
 }
 
+// outcome is what a worker (or the batch-formation shed path) delivers to
+// one waiting caller: a result or a terminal error.
+type outcome struct {
+	res Result
+	err error
+}
+
 // request is the internal unit flowing through a route.
 type request struct {
 	id            uint64
+	ctx           context.Context // caller context; checked again at batch formation
 	pixels        []float32
 	wantConverted bool
 	hardness      float64
@@ -153,16 +218,24 @@ type request struct {
 	tOpen         int64 // trace.Now() when the batcher opened this batch
 	// (stamped on the batch's first request only); the worker
 	// turns it into the batch-form span.
-	done chan Result // buffered(1): workers never block on delivery
+	done chan outcome // buffered(1): workers never block on delivery
 }
 
 // Engine coalesces single-image requests into batched forward passes.
 type Engine struct {
-	cfg   Config
-	pipe  *core.Pipeline
-	easy  *route
-	hard  *route
-	stats *engineStats
+	cfg  Config
+	pipe *core.Pipeline
+	// routes is every constructed route; live is the subset actually
+	// started (serving traffic); byName resolves ladder rungs. All three
+	// are fixed at New, so reads need no lock.
+	routes []*route
+	live   []*route
+	byName map[RouteName]*route
+	easy   *route
+	hard   *route
+	stats  *engineStats
+	deg    *degrader
+	fault  FaultInjector
 
 	// meter aggregates per-plan-step counters across all workers (the
 	// cbnet_plan_step_* series on /metrics); reqID and batchSeq issue the
@@ -170,6 +243,9 @@ type Engine struct {
 	meter    *trace.Meter
 	reqID    atomic.Uint64
 	batchSeq atomic.Uint64
+
+	// jitterState seeds the xorshift generator behind Retry-After jitter.
+	jitterState atomic.Uint64
 
 	// trackMu guards tracks, the registry of per-goroutine span
 	// recorders drained by /debug/trace. Workers register on startup
@@ -194,47 +270,83 @@ func (e *Engine) registerTrack(name string, rec *trace.Recorder) {
 	e.trackMu.Unlock()
 }
 
-// New builds and starts an engine over a trained pipeline.
+// New builds and starts an engine over a trained pipeline. It panics on
+// structurally invalid Variants or Degrade ladders — both are programmer
+// configuration, not runtime input.
 func New(pipe *core.Pipeline, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	if cfg.DisableRouting {
 		// Every request is pinned to the hard route; fold the easy
 		// route's worker budget into it, so Config() keeps reporting the
-		// per-route worker count actually running.
+		// per-route worker count actually running. The degradation ladder
+		// needs the route registry, so the always-convert baseline turns
+		// it off.
 		cfg.Workers *= 2
+		cfg.Degrade.Enabled = false
 	}
 	e := &Engine{
-		cfg:   cfg,
-		pipe:  pipe,
-		stats: newEngineStats(cfg),
-		meter: trace.NewMeter(),
+		cfg:    cfg,
+		pipe:   pipe,
+		stats:  newEngineStats(cfg),
+		meter:  trace.NewMeter(),
+		byName: make(map[RouteName]*route),
+		fault:  cfg.Fault,
 	}
-	e.easy = e.newRoute(RouteEasy, func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-		if w.ps != nil {
-			return w.ps.Logits(x), nil
+	e.jitterState.Store(uint64(time.Now().UnixNano()) | 1)
+	e.easy = e.newRoute(RouteEasy,
+		func(batchCap int) (*core.PlanSet, error) { return pipe.ClassifierPlans(batchCap) },
+		func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+			if w.ps != nil {
+				return w.ps.Logits(x), nil
+			}
+			return pipe.LogitsScratch(x, w.s), nil
+		})
+	e.hard = e.newRoute(RouteHard,
+		func(batchCap int) (*core.PlanSet, error) { return pipe.Plans(batchCap) },
+		func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+			if w.ps != nil {
+				converted := w.ps.Convert(x)
+				return w.ps.Logits(converted), converted
+			}
+			converted := pipe.ConvertScratch(x, w.s)
+			return pipe.LogitsScratch(converted, w.s), converted
+		})
+	for _, v := range cfg.Variants {
+		net := v.Net
+		if v.Name == "" || net == nil {
+			panic(fmt.Sprintf("engine: variant %q needs a name and a network", v.Name))
 		}
-		return pipe.LogitsScratch(x, w.s), nil
-	})
-	e.hard = e.newRoute(RouteHard, func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-		if w.ps != nil {
-			converted := w.ps.Convert(x)
-			return w.ps.Logits(converted), converted
+		if _, dup := e.byName[v.Name]; dup {
+			panic(fmt.Sprintf("engine: duplicate route name %q", v.Name))
 		}
-		converted := pipe.ConvertScratch(x, w.s)
-		return pipe.LogitsScratch(converted, w.s), converted
-	})
+		e.newRoute(v.Name,
+			func(batchCap int) (*core.PlanSet, error) { return core.PlanSetFor(net, batchCap) },
+			func(w *worker, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+				if w.ps != nil {
+					return w.ps.Logits(x), nil
+				}
+				return net.InferScratch(x, w.s), nil
+			})
+	}
 	if cfg.DisableRouting {
-		// The easy route is never used: leave it unstarted rather than
-		// idling half the pool.
+		// Only the hard route serves: leave the rest unstarted rather
+		// than idling workers that can never receive traffic.
 		e.startRoute(e.hard, cfg.Workers)
 	} else {
-		e.startRoute(e.easy, cfg.Workers)
-		e.startRoute(e.hard, cfg.Workers)
+		for _, rt := range e.routes {
+			e.startRoute(rt, cfg.Workers)
+		}
+	}
+	if cfg.Degrade.Enabled {
+		e.deg = newDegrader(cfg.Degrade, e.byName)
+		go e.degradeLoop()
 	}
 	return e
 }
 
 func (e *Engine) startRoute(rt *route, workers int) {
+	rt.started = true
+	e.live = append(e.live, rt)
 	e.wg.Add(1)
 	go e.batchLoop(rt)
 	for i := 0; i < workers; i++ {
@@ -254,15 +366,17 @@ func (e *Engine) IssueRequestID() uint64 { return e.reqID.Add(1) }
 // RetryAfterSeconds estimates how long an overloaded client should back
 // off: the fullest route's queue occupancy divided by the engine's
 // observed service rate (images completed per second since start), so the
-// hint scales with real overload instead of being a constant. Clamped to
-// [1, 60] whole seconds; with no throughput history it falls back to 1.
+// hint scales with real overload instead of being a constant. Waits above
+// the 1s floor are jittered ±10% so synchronized clients don't all retry
+// on the same second and re-spike the queue. Clamped to [1, 60] whole
+// seconds; with no throughput history it falls back to 1.
 func (e *Engine) RetryAfterSeconds() int {
 	uptime := time.Since(e.stats.start).Seconds()
 	if uptime <= 0 {
 		return 1
 	}
 	worst := 1.0
-	for _, rt := range e.liveRoutes() {
+	for _, rt := range e.live {
 		rate := float64(rt.stats.images.Value()) / uptime
 		if rate <= 0 {
 			continue
@@ -273,20 +387,49 @@ func (e *Engine) RetryAfterSeconds() int {
 			worst = wait
 		}
 	}
+	if worst > 1 {
+		worst *= 0.9 + 0.2*e.jitter()
+	}
 	if worst > 60 {
 		worst = 60
+	}
+	if worst < 1 {
+		worst = 1
 	}
 	return int(worst + 0.999) // ceil: never hint a shorter wait than modelled
 }
 
+// jitter draws a uniform float in [0,1) from a lock-free xorshift
+// generator — cheap enough for the 503 path and dependency-free.
+func (e *Engine) jitter() float64 {
+	for {
+		old := e.jitterState.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if e.jitterState.CompareAndSwap(old, x) {
+			return float64(x>>11) / (1 << 53)
+		}
+	}
+}
+
 // Submit classifies one image, blocking until its batch completes, ctx is
-// done, or admission fails. A request rejected with ErrOverloaded consumed
-// no inference capacity. If ctx expires after admission the request is
-// still executed (its batch slot is already claimed) but the result is
-// discarded.
+// done, or admission fails. A request rejected with ErrOverloaded or
+// ErrDeadline consumed no inference capacity. If ctx expires after
+// admission the request is executed only if its batch forms before the
+// expiry; the batcher sheds already-dead requests at formation time.
 func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 	if len(req.Pixels) != dataset.Pixels {
 		return Result{}, fmt.Errorf("engine: got %d pixels, want %d", len(req.Pixels), dataset.Pixels)
+	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: refuse before touching a queue.
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.stats.expired.Inc()
+			return Result{}, ErrDeadline
+		}
+		return Result{}, err
 	}
 	id := req.ID
 	if id == 0 {
@@ -294,11 +437,16 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 	}
 	r := &request{
 		id:            id,
+		ctx:           ctx,
 		pixels:        req.Pixels,
 		wantConverted: req.IncludeConverted,
-		done:          make(chan Result, 1),
+		done:          make(chan outcome, 1),
 	}
-	rt := e.routeFor(r)
+	rt, shed := e.routeFor(r)
+	if shed {
+		e.stats.shed.Inc()
+		return Result{}, ErrOverloaded
+	}
 
 	e.mu.RLock()
 	if e.closed {
@@ -318,10 +466,14 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		return Result{}, ErrOverloaded
 	}
 	e.stats.submitted.Inc()
+	e.deg.noteAdmitted()
 
 	select {
-	case res := <-r.done:
-		return res, nil
+	case out := <-r.done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		return out.res, nil
 	case <-ctx.Done():
 		e.stats.abandoned.Inc()
 		return Result{}, ctx.Err()
@@ -338,8 +490,10 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.easy.queue)
-	close(e.hard.queue)
+	for _, rt := range e.routes {
+		close(rt.queue)
+	}
 	e.mu.Unlock()
+	e.deg.stopController()
 	e.wg.Wait()
 }

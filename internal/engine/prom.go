@@ -26,8 +26,29 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		nil, float64(e.stats.completed.Value()))
 	p.Counter("cbnet_requests_rejected_total", "Requests shed at admission (queue full).",
 		nil, float64(e.stats.rejected.Value()))
+	p.Counter("cbnet_requests_shed_total", "Requests refused by the degradation ladder's shed rung.",
+		nil, float64(e.stats.shed.Value()))
+	p.Counter("cbnet_requests_deadline_expired_total", "Requests refused or dropped because their deadline had already passed.",
+		nil, float64(e.stats.expired.Value()))
+	p.Counter("cbnet_infer_failures_total", "Requests failed by inference errors or recovered worker panics.",
+		nil, float64(e.stats.inferFailed.Value()))
 	p.Counter("cbnet_requests_abandoned_total", "Requests whose caller context expired after admission.",
 		nil, float64(e.stats.abandoned.Value()))
+
+	if d := e.deg; d != nil {
+		p.Gauge("cbnet_degrade_level", "Current rung of the graceful-degradation ladder (0 = normal routing).",
+			nil, float64(d.level.Load()))
+		p.Counter("cbnet_degrade_transitions_total", "Degradation ladder level changes.",
+			nil, float64(d.transitions.Value()))
+		var routed []metrics.VecSample
+		for i, rung := range d.cfg.Ladder {
+			routed = append(routed, metrics.VecSample{
+				Labels: metrics.Labels{metrics.L("level", fmt.Sprintf("%d-%s", i, rung.Name))},
+				Value:  float64(d.routed[i].Value()),
+			})
+		}
+		p.CounterVec("cbnet_degrade_routed_images_total", "Requests admitted while each degradation rung was active.", routed)
+	}
 
 	routes := e.liveRoutes()
 	var images, batches, queued, inflight, depth []metrics.VecSample
@@ -111,14 +132,4 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	p.GaugeVec("cbnet_energy_seconds_per_image", "Projected per-image latency of each route's plan steps on each device profile.", perImageSecs)
 
 	return p.Err()
-}
-
-// liveRoutes returns the routes that actually serve traffic — with routing
-// disabled the easy route is never started, so its series are omitted
-// rather than frozen at zero.
-func (e *Engine) liveRoutes() []*route {
-	if e.cfg.DisableRouting {
-		return []*route{e.hard}
-	}
-	return []*route{e.easy, e.hard}
 }

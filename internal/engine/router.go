@@ -14,17 +14,31 @@ func RouteOf(pixels []float32, threshold float64) (RouteName, float64) {
 	return RouteHard, h
 }
 
-// routeFor picks the route for an admitted request and records its
-// hardness score. Requests that need the converted image are pinned to the
-// hard route — only the AE path produces one.
-func (e *Engine) routeFor(r *request) *route {
+// routeFor picks the route for a request, or reports shed=true when the
+// degradation ladder refuses it. Requests that need the converted image
+// are pinned to the hard route — only the AE path produces one. A ladder
+// rung that pins a route skips hardness scoring entirely (the request's
+// Hardness stays 0): under overload the score would be paid only to be
+// ignored.
+func (e *Engine) routeFor(r *request) (rt *route, shed bool) {
 	if e.cfg.DisableRouting {
-		return e.hard
+		return e.hard, false
+	}
+	if rung := e.currentRung(); rung != nil {
+		if rung.Shed {
+			return nil, true
+		}
+		if r.wantConverted {
+			return e.hard, false
+		}
+		if rung.Route != "" {
+			return e.byName[rung.Route], false
+		}
 	}
 	name, h := RouteOf(r.pixels, e.cfg.HardnessThreshold)
 	r.hardness = h
 	if name == RouteEasy && !r.wantConverted {
-		return e.easy
+		return e.easy, false
 	}
-	return e.hard
+	return e.hard, false
 }

@@ -7,15 +7,18 @@ import (
 )
 
 // engineStats is the engine's live metric store, built on the lock-free
-// primitives in internal/metrics.
+// primitives in internal/metrics. Per-route stores live in a map populated
+// while New constructs routes (single-goroutine) and read-only afterwards.
 type engineStats struct {
-	start     time.Time
-	submitted metrics.Counter // admitted requests
-	completed metrics.Counter // answered requests
-	rejected  metrics.Counter // ErrOverloaded at admission
-	abandoned metrics.Counter // caller ctx expired after admission
-	easy      routeStats
-	hard      routeStats
+	start       time.Time
+	submitted   metrics.Counter // admitted requests
+	completed   metrics.Counter // answered requests
+	rejected    metrics.Counter // ErrOverloaded at admission (queue full)
+	shed        metrics.Counter // ErrOverloaded from the degradation ladder's shed rung
+	expired     metrics.Counter // ErrDeadline at admission or batch formation
+	inferFailed metrics.Counter // requests failed by infer errors / recovered panics
+	abandoned   metrics.Counter // caller ctx expired after admission
+	routes      map[RouteName]*routeStats
 }
 
 type routeStats struct {
@@ -29,26 +32,26 @@ type routeStats struct {
 }
 
 func newEngineStats(cfg Config) *engineStats {
-	newRoute := func() routeStats {
-		sizeBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128}
-		// Extend so MaxBatch always lands in a finite bucket.
-		for sizeBounds[len(sizeBounds)-1] < float64(cfg.MaxBatch) {
-			sizeBounds = append(sizeBounds, sizeBounds[len(sizeBounds)-1]*2)
-		}
-		return routeStats{
-			batchSizes:  metrics.NewHistogram(sizeBounds...),
-			queueWaitMS: metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
-			inferMS:     metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
-		}
+	return &engineStats{
+		start:  time.Now(),
+		routes: make(map[RouteName]*routeStats),
 	}
-	return &engineStats{start: time.Now(), easy: newRoute(), hard: newRoute()}
 }
 
+// route returns (creating on first use) the stats store for a route name.
+// Only called from New's single goroutine while routes are registered.
 func (s *engineStats) route(name RouteName) *routeStats {
-	if name == RouteEasy {
-		return &s.easy
+	if rs, ok := s.routes[name]; ok {
+		return rs
 	}
-	return &s.hard
+	sizeBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	rs := &routeStats{
+		batchSizes:  metrics.NewHistogram(sizeBounds...),
+		queueWaitMS: metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
+		inferMS:     metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 20)...),
+	}
+	s.routes[name] = rs
+	return rs
 }
 
 func (r *routeStats) observeBatch(n int, infer time.Duration) {
@@ -98,13 +101,22 @@ func latencySnapshot(h *metrics.Histogram) LatencySnapshot {
 
 // Snapshot is the engine-wide stats view served by /stats.
 type Snapshot struct {
-	UptimeSeconds    float64         `json:"uptimeSeconds"`
-	Submitted        int64           `json:"submitted"`
-	Completed        int64           `json:"completed"`
-	Rejected         int64           `json:"rejected"`
-	Abandoned        int64           `json:"abandoned"`
-	ThroughputPerSec float64         `json:"throughputPerSec"`
-	Routes           []RouteSnapshot `json:"routes"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Submitted     int64   `json:"submitted"`
+	Completed     int64   `json:"completed"`
+	Rejected      int64   `json:"rejected"`
+	// Shed counts requests refused because the degradation ladder sat at
+	// a shed rung; DeadlineExpired counts requests refused (admission) or
+	// dropped (batch formation) because their deadline had already
+	// passed; InferFailed counts requests failed by inference errors or
+	// recovered worker panics.
+	Shed             int64            `json:"shed"`
+	DeadlineExpired  int64            `json:"deadlineExpired"`
+	InferFailed      int64            `json:"inferFailed"`
+	Abandoned        int64            `json:"abandoned"`
+	ThroughputPerSec float64          `json:"throughputPerSec"`
+	Routes           []RouteSnapshot  `json:"routes"`
+	Degrade          *DegradeSnapshot `json:"degrade,omitempty"`
 }
 
 // Stats returns a point-in-time view of the engine's counters and
@@ -113,16 +125,20 @@ type Snapshot struct {
 func (e *Engine) Stats() Snapshot {
 	uptime := time.Since(e.stats.start).Seconds()
 	snap := Snapshot{
-		UptimeSeconds: uptime,
-		Submitted:     e.stats.submitted.Value(),
-		Completed:     e.stats.completed.Value(),
-		Rejected:      e.stats.rejected.Value(),
-		Abandoned:     e.stats.abandoned.Value(),
+		UptimeSeconds:   uptime,
+		Submitted:       e.stats.submitted.Value(),
+		Completed:       e.stats.completed.Value(),
+		Rejected:        e.stats.rejected.Value(),
+		Shed:            e.stats.shed.Value(),
+		DeadlineExpired: e.stats.expired.Value(),
+		InferFailed:     e.stats.inferFailed.Value(),
+		Abandoned:       e.stats.abandoned.Value(),
+		Degrade:         e.deg.snapshot(),
 	}
 	if uptime > 0 {
 		snap.ThroughputPerSec = float64(snap.Completed) / uptime
 	}
-	for _, rt := range []*route{e.easy, e.hard} {
+	for _, rt := range e.liveRoutes() {
 		rs := rt.stats
 		r := RouteSnapshot{
 			Route:         string(rt.name),

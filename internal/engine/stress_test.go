@@ -53,7 +53,8 @@ func TestStressConcurrentSubmitters(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				ctx := context.Background()
 				if g == 0 && i%5 == 4 {
-					// A few submitters give up immediately.
+					// A few submitters give up before calling: these are
+					// refused at admission and never enqueue.
 					var cancel context.CancelFunc
 					ctx, cancel = context.WithCancel(ctx)
 					cancel()
@@ -83,12 +84,12 @@ func TestStressConcurrentSubmitters(t *testing.T) {
 	if got := completed.Load() + canceled.Load(); got != goroutines*perG {
 		t.Fatalf("accounted %d submissions, want %d", got, goroutines*perG)
 	}
-	// Give abandoned-but-executed requests time to finish, then verify the
-	// books after shutdown.
+	// Pre-canceled submissions are refused at admission, so the books must
+	// balance exactly: everything admitted was answered.
 	e.Close()
 	s := e.Stats()
-	if s.Submitted != goroutines*perG {
-		t.Fatalf("stats submitted %d, want %d", s.Submitted, goroutines*perG)
+	if s.Submitted != completed.Load() {
+		t.Fatalf("stats submitted %d, want %d (canceled callers must not be admitted)", s.Submitted, completed.Load())
 	}
 	if s.Completed != s.Submitted {
 		t.Fatalf("stats completed %d, want %d (drain must answer every admitted request)", s.Completed, s.Submitted)
@@ -147,12 +148,19 @@ func TestBackpressureOverload(t *testing.T) {
 	overloaded := false
 	admitted := 0
 	for time.Now().Before(deadline) {
-		_, err := e.Submit(earlyCancelCtx(), Request{Pixels: hardImage(1)})
+		// Flood with short-deadline requests: they pass admission (their
+		// contexts are still live), stack up behind the wedged worker, and
+		// abandon after a millisecond — leaving the queue full. The stale
+		// entries are shed at batch formation once the gate opens.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, err := e.Submit(ctx, Request{Pixels: hardImage(1)})
+		cancel()
 		switch {
 		case errors.Is(err, ErrOverloaded):
 			overloaded = true
-		case errors.Is(err, context.Canceled):
-			// Admitted; it will be executed with the result dropped.
+		case err == nil, errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrDeadline):
+			// Admitted (and abandoned, shed, or even served) — all fine;
+			// the point is that it occupied a queue slot.
 			admitted++
 		default:
 			t.Fatalf("unexpected submit outcome: %v", err)
@@ -178,14 +186,6 @@ func TestBackpressureOverload(t *testing.T) {
 	if succeeded.Load() == 0 {
 		t.Fatal("no patient submitter completed after the gate opened")
 	}
-}
-
-// earlyCancelCtx returns an already-canceled context, so Submit returns
-// immediately after the admission decision.
-func earlyCancelCtx() context.Context {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	return ctx
 }
 
 func TestShutdownDrainsAdmitted(t *testing.T) {

@@ -40,6 +40,9 @@ const (
 	KindError
 	// KindAbandon marks a caller that gave up before its result.
 	KindAbandon
+	// KindDegrade marks a degradation-ladder transition: Status carries
+	// the new level, Route the interned destination rung name.
+	KindDegrade
 )
 
 // String names the kind for dump rendering.
@@ -55,6 +58,8 @@ func (k EventKind) String() string {
 		return "error"
 	case KindAbandon:
 		return "abandon"
+	case KindDegrade:
+		return "degrade"
 	}
 	return "unknown"
 }

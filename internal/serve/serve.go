@@ -26,6 +26,13 @@
 // /classify calls coalesce into micro-batches, easy images skip the
 // autoencoder (hardness-aware routing), and a full admission queue surfaces
 // as 503 Service Unavailable so clients back off instead of piling on.
+//
+// Each /classify call may carry a deadline: the X-CBNet-Deadline-Ms header
+// (or Options.DefaultDeadline when absent) bounds its end-to-end time, and
+// a request whose deadline expires before its batch runs is answered 504
+// without consuming inference capacity. When the engine's degradation
+// ladder is enabled, overload walks traffic down the configured quality
+// rungs before anything is refused.
 package serve
 
 import (
@@ -88,9 +95,17 @@ type Server struct {
 	routeEasyID trace.NameID
 	routeHardID trace.NameID
 
+	// defaultDeadline bounds requests that carry no deadline header.
+	defaultDeadline time.Duration
+
 	log *slog.Logger
 	mux *http.ServeMux
 }
+
+// DeadlineHeader carries a per-request deadline in milliseconds (a
+// positive number, fractional allowed); it overrides
+// Options.DefaultDeadline for that request.
+const DeadlineHeader = "X-CBNet-Deadline-Ms"
 
 // Options tunes the server's observability surface.
 type Options struct {
@@ -115,6 +130,9 @@ type Options struct {
 	// on SLO burn-rate trips and 503 bursts. Empty keeps dumps in memory
 	// (still served by GET /debug/flight).
 	FlightDir string
+	// DefaultDeadline bounds each /classify request's end-to-end time when
+	// the client sends no DeadlineHeader. Zero applies no default.
+	DefaultDeadline time.Duration
 }
 
 // New builds a server around a trained pipeline with a default-configured
@@ -146,6 +164,7 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 		latTargetMS:     float64(opts.SLOLatencyP99) / float64(time.Millisecond),
 		routeEasyID:     trace.Intern(string(engine.RouteEasy)),
 		routeHardID:     trace.Intern(string(engine.RouteHard)),
+		defaultDeadline: opts.DefaultDeadline,
 		log:             opts.Logger,
 	}
 	if s.log == nil {
@@ -189,6 +208,32 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 		s.flight.Trip(tp.String())
 	})
 	s.sloMon.Start(time.Second)
+
+	// Degradation wiring: ladder transitions land in the log and the
+	// flight ring (Status carries the new level, Route the rung name), and
+	// the controller samples the latency objective's fast-window burn rate
+	// as its escalation signal. The availability tracker is deliberately
+	// excluded: ladder-induced 503s count against availability, so feeding
+	// that burn back into the controller would hold the ladder down for as
+	// long as the window remembers the 503s it caused — a positive feedback
+	// loop. Latency burn measures distress on requests actually served,
+	// which escalating to a cheaper rung genuinely fixes. All no-ops when
+	// the engine's ladder is off.
+	eng.OnDegrade(func(tr engine.DegradeTransition) {
+		s.log.Warn("degrade transition",
+			"from", tr.FromRung, "to", tr.ToRung, "level", tr.To, "reason", tr.Reason)
+		s.flight.Record(flight.Event{
+			T: trace.Now(), Kind: flight.KindDegrade,
+			Route: trace.Intern(tr.ToRung), Status: tr.To,
+		})
+	})
+	eng.SetDegradeBurnSignal(func() float64 {
+		snap := s.latT.Snapshot(time.Now())
+		if len(snap.Windows) == 0 {
+			return 0
+		}
+		return snap.Windows[0].BurnRate
+	})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -282,6 +327,12 @@ type InfoResponse struct {
 	Workers           int     `json:"workers"`
 	HardnessThreshold float64 `json:"hardnessThreshold"`
 	RoutingEnabled    bool    `json:"routingEnabled"`
+	// DegradeLadder lists the graceful-degradation rungs in order; absent
+	// when the controller is off.
+	DegradeLadder []string `json:"degradeLadder,omitempty"`
+	// DefaultDeadlineMS is the per-request deadline applied when the
+	// client sends no DeadlineHeader (absent = none).
+	DefaultDeadlineMS float64 `json:"defaultDeadlineMs,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
@@ -298,6 +349,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		Workers:           cfg.Workers,
 		HardnessThreshold: cfg.HardnessThreshold,
 		RoutingEnabled:    !cfg.DisableRouting,
+		DegradeLadder:     s.Engine.DegradeLadder(),
+		DefaultDeadlineMS: float64(s.defaultDeadline) / float64(time.Millisecond),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -463,9 +516,33 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Resolve the request deadline: header first, server default second.
+	// The context carries it into the engine, where an expired request is
+	// shed at admission or batch formation instead of wasting a worker
+	// slot.
+	ctx := r.Context()
+	deadline := s.defaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseFloat(h, 64)
+		if err != nil || ms <= 0 {
+			s.failClassify(w, reqID, http.StatusBadRequest,
+				fmt.Sprintf("invalid %s header %q: want a positive millisecond count", DeadlineHeader, h))
+			return
+		}
+		deadline = time.Duration(ms * float64(time.Millisecond))
+		if deadline > 10*time.Minute {
+			deadline = 10 * time.Minute
+		}
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
 	s.flight.Record(flight.Event{T: trace.Now(), Kind: flight.KindAdmit, RequestID: reqID})
 	start := time.Now()
-	res, err := s.Engine.Submit(r.Context(), engine.Request{
+	res, err := s.Engine.Submit(ctx, engine.Request{
 		ID:               reqID,
 		Pixels:           pixels,
 		IncludeConverted: includeConverted,
@@ -482,7 +559,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, engine.ErrClosed):
 		s.failClassify(w, reqID, http.StatusServiceUnavailable, "server shutting down")
 		return
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, engine.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		// The deadline (header or server default) ran out before the
+		// request executed. 504 distinguishes "too slow" from admission
+		// shedding, and it counts against availability like other 5xx.
+		s.failClassify(w, reqID, http.StatusGatewayTimeout, "deadline expired before completion")
+		return
+	case errors.Is(err, context.Canceled):
 		// The client has gone away; any status we write is best-effort.
 		// The abandoned slot still consumed capacity, so it counts
 		// against availability like other 5xx outcomes.
