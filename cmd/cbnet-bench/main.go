@@ -12,10 +12,12 @@
 //	cbnet-bench -exp profile               # per-plan-step time/GFLOPS tables
 //	cbnet-bench -exp energy                # projected joules per model × device
 //	cbnet-bench -exp overload              # flash-crowd chaos drill: ladder vs baseline
+//	cbnet-bench -exp faultisolation        # poison-pill + circuit-breaker chaos drill
 //
 // Experiments: table1, table2, fig3, fig5, fig6, fig7, fig8, perf, profile,
-// energy, overload, all ("all" covers the paper experiments; perf, profile,
-// energy, and overload run only when asked).
+// energy, overload, faultisolation, all ("all" covers the paper
+// experiments; perf, profile, energy, overload, and faultisolation run
+// only when asked).
 //
 // "overload" throws the same 5×-capacity trapezoidal flash crowd (chaos
 // latency injection pins per-route capacity) at two identical engines —
@@ -23,6 +25,14 @@
 // unless the ladder rides full → early-exit → pruned and back, keeps p99
 // under the request deadline, and rejects ≥10× fewer requests than the
 // baseline. It is the CI chaos smoke's first gate.
+//
+// "faultisolation" drills the resilience layer: a poison-pill input rides
+// every Nth coalesced micro-batch and bisection must serve ≥99% of the
+// innocents, convict the pill, and quarantine it (repeat submissions are
+// rejected at admission); then a wedged hard route must trip its circuit
+// breaker, divert traffic to the healthy route, and heal open → half-open
+// → closed once the fault clears. The CI chaos smoke runs it after
+// overload.
 //
 // "profile" compiles every shipped model into an execution plan with
 // per-step tracing attached, runs warm batches, and prints a table per
@@ -89,6 +99,14 @@ func main() {
 
 	if *exp == "overload" {
 		if err := runOverload(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "faultisolation" {
+		if err := runFaultIsolation(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "cbnet-bench:", err)
 			os.Exit(1)
 		}

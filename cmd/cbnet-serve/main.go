@@ -17,8 +17,18 @@
 // X-CBNet-Deadline-Ms header. The -chaos-* flags wire a fault injector into
 // the inference path for overload drills — never enable them in production.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
-// requests drain through the engine, then the process exits.
+// -resilience (on by default) arms the fault-isolation layer: failed
+// micro-batches are bisected so one bad input cannot fail its co-batched
+// neighbours, convicted poison pills are quarantined and rejected 422 at
+// admission, each route carries a circuit breaker that diverts traffic off
+// a failing variant, and a retry budget bounds the extra inference work.
+// GET /readyz reports not-ready while draining, shedding, or a serving
+// route's breaker is open.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503, the
+// listener stops, in-flight requests drain through the engine, a final
+// flight-recorder dump lands in -flight-dir (when set), then the process
+// exits.
 package main
 
 import (
@@ -69,10 +79,13 @@ func main() {
 		deadline        = flag.Duration("default-deadline", 0, "per-request deadline applied when the client sends no X-CBNet-Deadline-Ms header (0 = none)")
 		degrade         = flag.Bool("degrade", false, "enable the graceful-degradation ladder: full -> early-exit -> pruned -> shed, driven by SLO burn and queue pressure")
 		degradeInterval = flag.Duration("degrade-interval", 100*time.Millisecond, "degradation controller evaluation period")
+		resilienceOn    = flag.Bool("resilience", true, "arm the fault-isolation layer: batch bisection, poison-pill quarantine, per-route circuit breakers, retry budget")
 
 		chaosLatency    = flag.String("chaos-infer-latency", "", "inject per-batch inference latency, e.g. 'hard=12ms,easy=4ms' ('all=...' sets the default); drills only")
 		chaosErrEvery   = flag.Int64("chaos-error-every", 0, "fail every Nth inference batch with an injected error (0 = off); drills only")
 		chaosPanicEvery = flag.Int64("chaos-panic-every", 0, "panic every Nth inference batch to exercise worker recovery (0 = off); drills only")
+		chaosPoison     = flag.Float64("chaos-poison-pixel", 0, "panic any batch holding a row whose first pixel equals this value bit-exactly — a content-keyed poison pill for quarantine drills (0 = off); drills only")
+		chaosStuck      = flag.String("chaos-stuck-route", "", "fail every batch on the named route ('all' wedges every route) until restart — a breaker drill (empty = off); drills only")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -89,8 +102,9 @@ func main() {
 		HardnessThreshold: *threshold,
 		DisableRouting:    *noRoute,
 		Degrade:           engine.DegradeConfig{Enabled: *degrade, Interval: *degradeInterval},
+		Resilience:        engine.ResilienceConfig{Enabled: *resilienceOn},
 	}
-	if *chaosLatency != "" || *chaosErrEvery > 0 || *chaosPanicEvery > 0 {
+	if *chaosLatency != "" || *chaosErrEvery > 0 || *chaosPanicEvery > 0 || *chaosPoison != 0 || *chaosStuck != "" {
 		inj := chaos.NewInjector()
 		lats, err := parseChaosLatency(*chaosLatency)
 		if err != nil {
@@ -102,9 +116,16 @@ func main() {
 		}
 		inj.SetErrorEvery(*chaosErrEvery)
 		inj.SetPanicEvery(*chaosPanicEvery)
+		inj.SetPoisonValue(float32(*chaosPoison))
+		stuck := *chaosStuck
+		if stuck == "all" {
+			stuck = "*"
+		}
+		inj.SetStuck(stuck)
 		cfg.Fault = inj
 		logger.Warn("chaos injection armed — drills only, never production",
-			"latency", *chaosLatency, "errorEvery", *chaosErrEvery, "panicEvery", *chaosPanicEvery)
+			"latency", *chaosLatency, "errorEvery", *chaosErrEvery, "panicEvery", *chaosPanicEvery,
+			"poisonPixel", *chaosPoison, "stuckRoute", *chaosStuck)
 	}
 	opts := serve.Options{
 		EnablePprof:     *pprofOn,
@@ -272,6 +293,7 @@ func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options
 		"flightDir", opts.FlightDir,
 		"defaultDeadline", opts.DefaultDeadline,
 		"degradeLadder", srv.Engine.DegradeLadder(),
+		"resilience", ecfg.Resilience.Enabled,
 		"demo", demo)
 	if demo {
 		slog.Warn("demo mode: pipeline is untrained, predictions are meaningless")
@@ -283,11 +305,18 @@ func run(ckpt, name, addr, devName string, cfg engine.Config, opts serve.Options
 	case <-ctx.Done():
 	}
 	slog.Info("shutting down")
+	// Flip /readyz to 503 before the listener stops so load balancers
+	// steer new traffic away while in-flight requests finish.
+	srv.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Every in-flight request has now finished: capture the final
+	// request-lifecycle window before the process forgets it (a file only
+	// when -flight-dir is set).
+	srv.DumpFlight("shutdown")
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

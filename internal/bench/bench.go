@@ -16,13 +16,16 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"cbnet/internal/chaos"
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/engine"
 	"cbnet/internal/models"
+	"cbnet/internal/resilience"
 	"cbnet/internal/rng"
 	"cbnet/internal/slo"
 	"cbnet/internal/tensor"
@@ -75,6 +78,8 @@ func registry() []benchDef {
 		{"pipeline/infer-scratch/batch16", benchInferScratch},
 		{"engine/throughput/routed", benchEngineThroughput},
 		{"engine/slo-observe", benchSLOObserve},
+		{"engine/breaker-observe", benchBreakerObserve},
+		{"engine/bisect-overhead", benchBisectOverhead},
 	}
 }
 
@@ -380,5 +385,89 @@ func benchSLOObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Observe(i&7 != 0)
+	}
+}
+
+// benchBreakerObserve measures the resilience tax added to every healthy
+// micro-batch: one circuit-breaker admission check plus one outcome
+// observation and one retry-budget deposit — a handful of atomics that
+// must stay at zero allocations (pinned by internal/resilience's
+// AllocsPerRun test; this row guards the latency).
+func benchBreakerObserve(b *testing.B) {
+	br := resilience.NewBreaker(resilience.BreakerConfig{}, nil)
+	bud := resilience.NewBudget(resilience.BudgetConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if br.Allow() {
+			br.Observe(true)
+		}
+		bud.OnSuccess()
+	}
+}
+
+// benchBisectOverhead measures the failure-isolation worst case end to
+// end: a 16-request coalesced batch carrying one never-seen-before poison
+// pill panics, and bisection re-runs sub-batches until the 15 innocents
+// are served and the pill is convicted. The injected 5ms batch latency
+// wedges the worker so the round coalesces (and dominates the row, which
+// keeps it stable); the retry budget is made effectively infinite so the
+// drill is never cut short.
+func benchBisectOverhead(b *testing.B) {
+	const poisonVal = float32(0.55555)
+	inj := chaos.NewInjector()
+	inj.SetLatency("", 5*time.Millisecond)
+	inj.SetPoisonValue(poisonVal)
+	pipe := perfPipeline()
+	e := engine.New(pipe, engine.Config{
+		MaxBatch: 32, MaxWait: 20 * time.Millisecond, Workers: 1, QueueDepth: 256,
+		HardnessThreshold: 1000, // one route: the whole round coalesces
+		Fault:             inj,
+		Resilience: engine.ResilienceConfig{
+			Enabled: true,
+			Budget:  resilience.BudgetConfig{Ratio: 1, Burst: 1 << 20, Initial: 1 << 20},
+			// A breaker that cannot trip (100% failures over a window the
+			// drill's successes always dilute): this row measures bisection,
+			// and an open breaker would divert the stream mid-measurement.
+			Breaker: resilience.BreakerConfig{Window: 256, MinSamples: 256, FailureThreshold: 1},
+		},
+	})
+	defer e.Close()
+
+	r := rng.New(34)
+	imgs := make([][]float32, 15)
+	for i := range imgs {
+		imgs[i] = dataset.RenderSample(dataset.MNIST, i%dataset.NumClasses, false, r)
+	}
+	pill := dataset.RenderSample(dataset.MNIST, 0, false, rng.New(35))
+	pill[0] = poisonVal
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh fingerprint each round, so the pill is bisected and
+		// convicted again instead of being rejected at admission.
+		pill[1] = float32(i%997) / 997
+		pill[2] = float32(i/997%997) / 997
+		go e.Submit(ctx, engine.Request{Pixels: imgs[0]}) // wedge the worker
+		time.Sleep(2 * time.Millisecond)
+		var wg sync.WaitGroup
+		for _, img := range imgs {
+			wg.Add(1)
+			go func(img []float32) {
+				defer wg.Done()
+				_, _ = e.Submit(ctx, engine.Request{Pixels: img})
+			}(img)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = e.Submit(ctx, engine.Request{Pixels: pill})
+		}()
+		wg.Wait()
+	}
+	b.StopTimer()
+	if snap := e.Resilience(); snap != nil && b.N > 0 {
+		b.ReportMetric(float64(snap.BisectSaved)/float64(b.N), "saved/op")
 	}
 }

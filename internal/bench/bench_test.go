@@ -66,3 +66,9 @@ func TestNamesAndSummary(t *testing.T) {
 		t.Fatal("summary does not mention result names")
 	}
 }
+
+// go test -bench wrappers for the resilience registry rows, so CI's
+// bench-smoke (1 iteration each) catches a panic or deadlock in them on
+// the PR that introduces it.
+func BenchmarkBreakerObserve(b *testing.B) { benchBreakerObserve(b) }
+func BenchmarkBisectOverhead(b *testing.B) { benchBisectOverhead(b) }

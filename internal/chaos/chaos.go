@@ -11,9 +11,12 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cbnet/internal/tensor"
 )
 
 // ErrInjected is the error the Injector returns on error-injection ticks;
@@ -31,9 +34,20 @@ type Injector struct {
 	errEvery   atomic.Int64 // inject an error on every Nth batch (0 = off)
 	panicEvery atomic.Int64 // inject a panic on every Nth batch (0 = off)
 
+	// poisonBits, when non-zero, is the float32 bit pattern of a poison
+	// pixel value: any batch whose rows start with it panics. Content-
+	// keyed (unlike every-Nth), so the same input fails deterministically
+	// — exactly what the quarantine needs to be testable.
+	poisonBits atomic.Uint32
+	// stuckRoute, when set, fails every batch on the named route ("*"
+	// means all routes): a device wedged hard, the breaker's natural prey.
+	stuckRoute atomic.Value // string
+
 	batches        atomic.Uint64
 	injectedErrors atomic.Uint64
 	injectedPanics atomic.Uint64
+	poisonHits     atomic.Uint64
+	stuckBatches   atomic.Uint64
 }
 
 // NewInjector returns an injector with every fault disabled.
@@ -63,6 +77,21 @@ func (i *Injector) SetErrorEvery(n int64) { i.errEvery.Store(n) }
 // worker's recover path.
 func (i *Injector) SetPanicEvery(n int64) { i.panicEvery.Store(n) }
 
+// SetPoisonValue makes any batch containing a row whose first pixel
+// equals v (bit-exact) panic before inference — a content-keyed poison
+// pill. v = 0 disables.
+func (i *Injector) SetPoisonValue(v float32) { i.poisonBits.Store(math.Float32bits(v)) }
+
+// SetStuck wedges the named route: every one of its batches fails with
+// ErrInjected until cleared. Route "*" wedges all routes; "" un-wedges.
+func (i *Injector) SetStuck(route string) { i.stuckRoute.Store(route) }
+
+// PoisonHits reports how many batches were panicked by the poison value.
+func (i *Injector) PoisonHits() uint64 { return i.poisonHits.Load() }
+
+// StuckBatches reports how many batches were failed by a stuck route.
+func (i *Injector) StuckBatches() uint64 { return i.stuckBatches.Load() }
+
 // InjectedErrors reports how many batches were failed with ErrInjected.
 func (i *Injector) InjectedErrors() uint64 { return i.injectedErrors.Load() }
 
@@ -85,6 +114,11 @@ func (i *Injector) BeforeInfer(route string, batchSize int) error {
 		time.Sleep(d)
 	}
 	n := i.batches.Add(1)
+	if stuck, _ := i.stuckRoute.Load().(string); stuck != "" && (stuck == "*" || stuck == route) {
+		i.stuckBatches.Add(1)
+		i.injectedErrors.Add(1)
+		return fmt.Errorf("%w: route %s is stuck", ErrInjected, route)
+	}
 	if every := i.panicEvery.Load(); every > 0 && n%uint64(every) == 0 {
 		i.injectedPanics.Add(1)
 		panic(fmt.Sprintf("chaos: injected panic on %s batch %d (size %d)", route, n, batchSize))
@@ -92,6 +126,25 @@ func (i *Injector) BeforeInfer(route string, batchSize int) error {
 	if every := i.errEvery.Load(); every > 0 && n%uint64(every) == 0 {
 		i.injectedErrors.Add(1)
 		return ErrInjected
+	}
+	return nil
+}
+
+// BeforeInferBatch implements engine.BatchFaultInjector: with a poison
+// value armed, a batch containing any row whose first pixel carries the
+// poison bit pattern panics, the way a malformed input crashing a kernel
+// would. Bit-exact comparison keeps it content-keyed and deterministic.
+func (i *Injector) BeforeInferBatch(route string, x *tensor.Tensor) error {
+	bits := i.poisonBits.Load()
+	if bits == 0 || len(x.Shape) != 2 {
+		return nil
+	}
+	cols := x.Shape[1]
+	for row := 0; row < x.Shape[0]; row++ {
+		if math.Float32bits(x.Data[row*cols]) == bits {
+			i.poisonHits.Add(1)
+			panic(fmt.Sprintf("chaos: poison pixel in %s batch row %d", route, row))
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
+	"cbnet/internal/resilience"
 	"cbnet/internal/tensor"
 	"cbnet/internal/trace"
 )
@@ -62,7 +63,8 @@ type route struct {
 	plans   planFn
 	infer   inferFn
 	stats   *routeStats
-	started bool // true once startRoute has launched its goroutines
+	breaker *resilience.Breaker // nil unless resilience is armed
+	started bool                // true once startRoute has launched its goroutines
 }
 
 // newRoute constructs a route and registers it; startRoute actually
@@ -80,6 +82,10 @@ func (e *Engine) newRoute(name RouteName, plans planFn, infer inferFn) *route {
 		plans:   plans,
 		infer:   infer,
 		stats:   e.stats.route(name),
+	}
+	if e.res != nil {
+		rt.breaker = resilience.NewBreaker(e.cfg.Resilience.Breaker,
+			func(from, to resilience.State) { e.breakerChanged(rt, from, to) })
 	}
 	e.routes = append(e.routes, rt)
 	e.byName[name] = rt
@@ -250,6 +256,11 @@ func (e *Engine) safeInfer(rt *route, w *worker, x *tensor.Tensor) (logits, conv
 			return nil, nil, fmt.Errorf("%w: %v", ErrInferFailed, ferr)
 		}
 	}
+	if e.batchFault != nil {
+		if ferr := e.batchFault.BeforeInferBatch(string(rt.name), x); ferr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrInferFailed, ferr)
+		}
+	}
 	logits, converted = rt.infer(w, x)
 	return logits, converted, nil
 }
@@ -315,12 +326,19 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 	w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindExecute,
 		Name: w.routeName, Batch: n, Start: t0, Dur: tExec - t0})
 
+	if rt.breaker != nil {
+		rt.breaker.Observe(inferErr == nil)
+	}
 	if inferErr != nil {
-		// Fail this batch's callers and keep the worker alive; the next
-		// batch starts from a Reset scratch / fresh plan run.
-		e.stats.inferFailed.Add(int64(n))
-		for _, r := range batch {
-			r.done <- outcome{err: inferErr}
+		// With resilience armed, a multi-request batch is bisected so
+		// only the culprit fails; otherwise (or for singletons, where
+		// there is nothing to split) fail this batch's callers. Either
+		// way the worker survives; the next batch starts from a Reset
+		// scratch / fresh plan run.
+		if e.res != nil && n > 1 {
+			e.bisect(rt, w, batch, batchID, inferErr)
+		} else {
+			e.failSubBatch(rt, batch, inferErr)
 		}
 		rt.stats.inflight.Add(-int64(n))
 		w.rec.Emit(trace.Span{ID: batchID, Kind: trace.KindRespond,
@@ -345,6 +363,9 @@ func (e *Engine) runBatch(rt *route, batch []*request, w *worker) {
 		}
 		rt.stats.observeRequest(res.QueueWait)
 		e.stats.completed.Inc()
+		if e.res != nil {
+			e.res.budget.OnSuccess()
+		}
 		r.done <- outcome{res: res}
 	}
 	rt.stats.inflight.Add(-int64(n))

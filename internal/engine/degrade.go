@@ -239,7 +239,14 @@ func (e *Engine) degradeLoop() {
 		atShed := d.cfg.Ladder[lvl].Shed
 		nextIsShed := lvl+1 < len(d.cfg.Ladder) && d.cfg.Ladder[lvl+1].Shed
 		burnHot := burn >= d.cfg.BurnThreshold && !nextIsShed && !atShed
-		hot := pressure >= d.cfg.EscalateQueueFrac || burnHot
+		// Breaker evidence feeds the controller the same way burn does,
+		// but escalate-only and scoped to the routes the *current* rung
+		// actually uses (see breakerHotAt): an open breaker pushes traffic
+		// toward rungs that avoid the broken route, and then stops
+		// counting, so relaxation can re-expose traffic for the half-open
+		// probes that heal it. Like burn, it never enters the shed rung.
+		breakerHot := !nextIsShed && !atShed && e.breakerHotAt(lvl)
+		hot := pressure >= d.cfg.EscalateQueueFrac || burnHot || breakerHot
 		cool := pressure <= d.cfg.RelaxQueueFrac && (burn < d.cfg.BurnThreshold || atShed)
 		switch {
 		case hot && lvl < len(d.cfg.Ladder)-1:
@@ -250,6 +257,9 @@ func (e *Engine) degradeLoop() {
 				reason := fmt.Sprintf("queue pressure %.2f", pressure)
 				if pressure < d.cfg.EscalateQueueFrac {
 					reason = fmt.Sprintf("burn rate %.1f", burn)
+					if breakerHot && burn < d.cfg.BurnThreshold {
+						reason = "breaker open on serving route"
+					}
 				}
 				d.setLevel(lvl+1, reason)
 			}

@@ -44,6 +44,7 @@ import (
 	"cbnet/internal/core"
 	"cbnet/internal/dataset"
 	"cbnet/internal/nn"
+	"cbnet/internal/resilience"
 	"cbnet/internal/tensor"
 	"cbnet/internal/trace"
 )
@@ -81,6 +82,15 @@ const DefaultHardnessThreshold = 1.05
 // worker itself always survives.
 type FaultInjector interface {
 	BeforeInfer(route string, batchSize int) error
+}
+
+// BatchFaultInjector is an optional FaultInjector extension that sees the
+// assembled batch tensor, enabling content-keyed faults (a poison pixel
+// value that panics any batch containing it, the way a malformed input
+// would). Injectors implementing it get both hooks, BeforeInfer first.
+type BatchFaultInjector interface {
+	FaultInjector
+	BeforeInferBatch(route string, x *tensor.Tensor) error
 }
 
 // Variant registers one extra inference route: a standalone pixels→logits
@@ -134,6 +144,11 @@ type Config struct {
 	// Fault, when non-nil, intercepts every batch before its forward pass
 	// (see FaultInjector). Testing and chaos drills only.
 	Fault FaultInjector
+	// Resilience arms the fault-isolation layer: batch bisection,
+	// poison-pill quarantine, per-route circuit breakers, and the retry
+	// budget. Off by default — the zero value keeps whole-batch failure
+	// semantics.
+	Resilience ResilienceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +174,7 @@ func (c Config) withDefaults() Config {
 		c.TraceRing = 256
 	}
 	c.Degrade = c.Degrade.withDefaults()
+	c.Resilience = c.Resilience.withDefaults()
 	return c
 }
 
@@ -213,6 +229,7 @@ type request struct {
 	pixels        []float32
 	wantConverted bool
 	hardness      float64
+	fp            uint64 // content fingerprint (resilience armed), else 0
 	enqueued      time.Time
 	tEnq          int64 // trace.Now() at admission, for the queue span
 	tOpen         int64 // trace.Now() when the batcher opened this batch
@@ -235,7 +252,11 @@ type Engine struct {
 	hard   *route
 	stats  *engineStats
 	deg    *degrader
+	res    *resilienceState
 	fault  FaultInjector
+	// batchFault is fault pre-asserted to its batch-level extension, so
+	// the hot path skips the type assertion.
+	batchFault BatchFaultInjector
 
 	// meter aggregates per-plan-step counters across all workers (the
 	// cbnet_plan_step_* series on /metrics); reqID and batchSeq issue the
@@ -291,6 +312,15 @@ func New(pipe *core.Pipeline, cfg Config) *Engine {
 		meter:  trace.NewMeter(),
 		byName: make(map[RouteName]*route),
 		fault:  cfg.Fault,
+	}
+	e.batchFault, _ = cfg.Fault.(BatchFaultInjector)
+	if cfg.Resilience.Enabled {
+		// Built before the routes so newRoute can attach a breaker to
+		// each as it is constructed.
+		e.res = &resilienceState{
+			budget: resilience.NewBudget(cfg.Resilience.Budget),
+			quar:   resilience.NewQuarantine(cfg.Resilience.Quarantine),
+		}
 	}
 	e.jitterState.Store(uint64(time.Now().UnixNano()) | 1)
 	e.easy = e.newRoute(RouteEasy,
@@ -431,6 +461,10 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		}
 		return Result{}, err
 	}
+	fp, clean := e.admitFingerprint(req.Pixels)
+	if !clean {
+		return Result{}, ErrPoisoned
+	}
 	id := req.ID
 	if id == 0 {
 		id = e.IssueRequestID()
@@ -440,11 +474,18 @@ func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
 		ctx:           ctx,
 		pixels:        req.Pixels,
 		wantConverted: req.IncludeConverted,
+		fp:            fp,
 		done:          make(chan outcome, 1),
 	}
 	rt, shed := e.routeFor(r)
 	if shed {
 		e.stats.shed.Inc()
+		return Result{}, ErrOverloaded
+	}
+	rt, admitted := e.divert(rt, r)
+	if !admitted {
+		// Every candidate route's breaker is open: shed with backpressure
+		// so clients retry after the cooldown instead of piling on.
 		return Result{}, ErrOverloaded
 	}
 

@@ -50,6 +50,42 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		p.CounterVec("cbnet_degrade_routed_images_total", "Requests admitted while each degradation rung was active.", routed)
 	}
 
+	if r := e.res; r != nil {
+		var state, trans []metrics.VecSample
+		for _, rt := range e.liveRoutes() {
+			if rt.breaker == nil {
+				continue
+			}
+			ls := metrics.Labels{metrics.L("route", string(rt.name))}
+			state = append(state, metrics.VecSample{Labels: ls, Value: float64(rt.breaker.State())})
+			trans = append(trans, metrics.VecSample{Labels: ls, Value: float64(rt.breaker.Transitions())})
+		}
+		p.GaugeVec("cbnet_breaker_state", "Circuit breaker state per route (0 closed, 1 open, 2 half-open).", state)
+		p.CounterVec("cbnet_breaker_transitions_total", "Circuit breaker state changes per route.", trans)
+		p.Gauge("cbnet_retry_budget_tokens", "Retry-budget tokens currently available for bisection re-runs.",
+			nil, r.budget.Tokens())
+		p.Counter("cbnet_retry_budget_spent_total", "Retry-budget tokens spent on bisection re-runs.",
+			nil, float64(r.budget.Spent()))
+		p.Counter("cbnet_retry_budget_denied_total", "Bisection re-runs denied because the retry budget was dry.",
+			nil, float64(r.budget.Denied()))
+		p.Gauge("cbnet_quarantine_size", "Poison-pill fingerprints currently quarantined.",
+			nil, float64(r.quar.Size()))
+		p.Counter("cbnet_quarantine_adds_total", "Poison-pill fingerprints convicted by bisection.",
+			nil, float64(r.quar.Adds()))
+		p.Counter("cbnet_quarantine_hits_total", "Admissions matching a quarantined fingerprint.",
+			nil, float64(r.quar.Hits()))
+		p.Counter("cbnet_requests_poisoned_total", "Requests rejected at admission as quarantined poison pills.",
+			nil, float64(r.poisoned.Value()))
+		p.Counter("cbnet_requests_diverted_total", "Requests rerouted off an open circuit breaker.",
+			nil, float64(r.diverted.Value()))
+		p.Counter("cbnet_requests_breaker_rejected_total", "Requests shed because every candidate route's breaker was open.",
+			nil, float64(r.breakerRejects.Value()))
+		p.Counter("cbnet_bisect_runs_total", "Sub-batch re-runs executed while isolating batch failures.",
+			nil, float64(r.bisectRuns.Value()))
+		p.Counter("cbnet_bisect_saved_total", "Innocent requests served by bisection that whole-batch failure would have failed.",
+			nil, float64(r.bisectSaved.Value()))
+	}
+
 	routes := e.liveRoutes()
 	var images, batches, queued, inflight, depth []metrics.VecSample
 	var queueWait, infer, sizes []metrics.HistSample

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cbnet/internal/chaos"
+	"cbnet/internal/resilience"
+)
+
+// poisonPixel is the bit-exact pixel value the chaos injector treats as a
+// poison pill in these tests.
+const poisonPixel = float32(0.77777)
+
+// poisonedImage returns a fixed image whose first pixel carries the
+// poison value; seed varies the rest so tests can mint distinct pills.
+func poisonedImage(seed uint64) []float32 {
+	img := easyImage(seed)
+	img[0] = poisonPixel
+	return img
+}
+
+// stubbornHardImage returns an image that actually scores hard under the
+// default threshold — hardImage renders degraded inputs whose scores
+// *centre* above it, but individual seeds can fall below, and the breaker
+// tests need requests that deterministically pick the hard route.
+func stubbornHardImage(t *testing.T, seed uint64) []float32 {
+	t.Helper()
+	for s := seed; s < seed+1000; s++ {
+		img := hardImage(s)
+		if name, _ := RouteOf(img, DefaultHardnessThreshold); name == RouteHard {
+			return img
+		}
+	}
+	t.Fatal("no hard-scoring image in 1000 seeds")
+	return nil
+}
+
+// wedgeAndCoalesce submits a primer request to occupy the single worker
+// for the injector's latency, then fires the given images concurrently so
+// they coalesce into one batch behind it, returning each submit's error.
+func wedgeAndCoalesce(t *testing.T, e *Engine, images [][]float32) []error {
+	t.Helper()
+	go e.Submit(context.Background(), Request{Pixels: easyImage(999)})
+	// The idle engine dispatches the primer immediately; by the time it
+	// sleeps in the injector the queue is free for the real batch.
+	time.Sleep(3 * time.Millisecond)
+	errs := make([]error, len(images))
+	var wg sync.WaitGroup
+	for i, img := range images {
+		wg.Add(1)
+		go func(i int, img []float32) {
+			defer wg.Done()
+			_, err := e.Submit(context.Background(), Request{Pixels: img})
+			errs[i] = err
+		}(i, img)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestBisectIsolatesPoison is the tentpole's core contract: one poisoned
+// input in a 16-request batch fails alone, its 15 co-batched innocents
+// are served via bisection, and the culprit's fingerprint is quarantined
+// so resubmitting it is rejected at admission with ErrPoisoned.
+func TestBisectIsolatesPoison(t *testing.T) {
+	inj := chaos.NewInjector()
+	inj.SetLatency("", 10*time.Millisecond)
+	inj.SetPoisonValue(poisonPixel)
+	e := testEngine(t, Config{
+		MaxBatch: 16, MaxWait: 50 * time.Millisecond, Workers: 1,
+		// Score everything easy so the whole batch lands on one route.
+		HardnessThreshold: 1000,
+		Fault:             inj,
+		Resilience:        ResilienceConfig{Enabled: true},
+	})
+
+	images := make([][]float32, 16)
+	for i := range images {
+		images[i] = easyImage(uint64(i))
+	}
+	images[5] = poisonedImage(1)
+	errs := wedgeAndCoalesce(t, e, images)
+
+	for i, err := range errs {
+		if i == 5 {
+			if !errors.Is(err, ErrInferFailed) {
+				t.Fatalf("poisoned request: err = %v, want ErrInferFailed", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("innocent request %d failed: %v", i, err)
+		}
+	}
+
+	// The convicted fingerprint is rejected at admission from now on.
+	if _, err := e.Submit(context.Background(), Request{Pixels: poisonedImage(1)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("resubmitted poison: err = %v, want ErrPoisoned", err)
+	}
+
+	s := e.Resilience()
+	if s == nil {
+		t.Fatal("Resilience() = nil with the layer armed")
+	}
+	if s.Culprits != 1 || s.QuarantineSize != 1 {
+		t.Fatalf("culprits=%d quarantineSize=%d, want 1/1", s.Culprits, s.QuarantineSize)
+	}
+	if s.BisectSaved < 15 {
+		t.Fatalf("bisectSaved = %d, want >= 15", s.BisectSaved)
+	}
+	if s.Poisoned != 1 || s.QuarantineHits != 1 {
+		t.Fatalf("poisoned=%d hits=%d, want 1/1", s.Poisoned, s.QuarantineHits)
+	}
+	if s.BisectRuns == 0 || uint64(s.BisectRuns) != s.BudgetSpent {
+		t.Fatalf("bisectRuns=%d budgetSpent=%d, want equal and nonzero", s.BisectRuns, s.BudgetSpent)
+	}
+}
+
+// TestRetryBudgetBoundsBisect wedges the whole engine (every batch fails)
+// with a nearly-empty retry budget: bisection must stop exactly when the
+// bucket runs dry, failing the remaining suspects as groups instead of
+// amplifying a route-wide outage into a retry storm.
+func TestRetryBudgetBoundsBisect(t *testing.T) {
+	inj := chaos.NewInjector()
+	inj.SetLatency("", 10*time.Millisecond)
+	inj.SetStuck("*")
+	e := testEngine(t, Config{
+		MaxBatch: 8, MaxWait: 50 * time.Millisecond, Workers: 1,
+		HardnessThreshold: 1000,
+		Fault:             inj,
+		Resilience: ResilienceConfig{
+			Enabled: true,
+			Budget:  resilience.BudgetConfig{Ratio: 0.001, Burst: 2, Initial: 2},
+		},
+	})
+
+	images := make([][]float32, 8)
+	for i := range images {
+		images[i] = easyImage(uint64(i))
+	}
+	errs := wedgeAndCoalesce(t, e, images)
+	for i, err := range errs {
+		if !errors.Is(err, ErrInferFailed) {
+			t.Fatalf("request %d on a stuck engine: err = %v, want ErrInferFailed", i, err)
+		}
+	}
+	s := e.Resilience()
+	if s.BudgetSpent > 2 {
+		t.Fatalf("budgetSpent = %d, want <= the 2-token budget", s.BudgetSpent)
+	}
+	if s.BudgetDenied == 0 {
+		t.Fatal("budget never denied a re-run on a stuck engine")
+	}
+	if uint64(s.BisectRuns) != s.BudgetSpent {
+		t.Fatalf("bisectRuns=%d budgetSpent=%d, want equal", s.BisectRuns, s.BudgetSpent)
+	}
+	// Sibling-success guard: a route-wide fault convicts nobody.
+	if s.Culprits != 0 || s.QuarantineSize != 0 {
+		t.Fatalf("culprits=%d quarantineSize=%d on a stuck engine, want 0/0", s.Culprits, s.QuarantineSize)
+	}
+}
+
+// TestBreakerDivertsAndRecovers sticks the hard route, drives hard-scoring
+// traffic until its breaker trips, and asserts (a) tripped traffic is
+// diverted to the easy route instead of failing, and (b) once the route
+// heals, half-open probes close the breaker and traffic returns.
+func TestBreakerDivertsAndRecovers(t *testing.T) {
+	inj := chaos.NewInjector()
+	inj.SetStuck(string(RouteHard))
+	var mu sync.Mutex
+	var edges []string
+	e := testEngine(t, Config{
+		MaxBatch: 4, Workers: 1,
+		Fault: inj,
+		Resilience: ResilienceConfig{
+			Enabled: true,
+			Breaker: resilience.BreakerConfig{
+				Window: 4, MinSamples: 2, FailureThreshold: 0.5,
+				Cooldown: 30 * time.Millisecond, Probes: 1,
+			},
+		},
+	})
+	e.OnBreaker(func(tr BreakerTransition) {
+		mu.Lock()
+		edges = append(edges, string(tr.Route)+":"+tr.From.String()+"->"+tr.To.String())
+		mu.Unlock()
+	})
+
+	// Two singleton failures trip the hard breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, uint64(i))}); !errors.Is(err, ErrInferFailed) {
+			t.Fatalf("stuck hard submit %d: err = %v, want ErrInferFailed", i, err)
+		}
+	}
+	if !e.BreakerOpen(RouteHard) {
+		t.Fatal("hard breaker did not open after repeated failures")
+	}
+
+	// Tripped: hard-scoring traffic diverts to easy and is served.
+	res, err := e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, 42)})
+	if err != nil {
+		t.Fatalf("divert submit failed: %v", err)
+	}
+	if res.Route != string(RouteEasy) {
+		t.Fatalf("divert route = %q, want easy", res.Route)
+	}
+	if s := e.Resilience(); s.Diverted == 0 {
+		t.Fatal("diverted counter never moved")
+	}
+
+	// Requests that need the converted image never divert: they ride the
+	// (broken) hard route and fail honestly.
+	if _, err := e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, 43), IncludeConverted: true}); !errors.Is(err, ErrInferFailed) {
+		t.Fatalf("wantConverted on open breaker: err = %v, want ErrInferFailed", err)
+	}
+
+	// Heal the route; after the cooldown a probe closes the breaker.
+	inj.SetStuck("")
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		res, err := e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, 7)})
+		if err == nil && res.Route == string(RouteHard) && !e.BreakerOpen(RouteHard) {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("hard route never recovered after healing")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	joined := strings.Join(edges, ",")
+	for _, want := range []string{
+		"hard:closed->open", "hard:open->half-open", "hard:half-open->closed",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("breaker edges %q missing %q", joined, want)
+		}
+	}
+}
+
+// TestDegradeEscalatesOnBreakerOpen proves breaker state feeds the
+// degradation controller like SLO burn does: an open breaker on a rung-0
+// serving route escalates the ladder one rung (never into shed), and once
+// the route heals the ladder relaxes home.
+func TestDegradeEscalatesOnBreakerOpen(t *testing.T) {
+	inj := chaos.NewInjector()
+	inj.SetStuck(string(RouteHard))
+	e := testEngine(t, Config{
+		MaxBatch: 4, Workers: 1,
+		Fault: inj,
+		Degrade: DegradeConfig{
+			Enabled:  true,
+			Interval: 10 * time.Millisecond,
+			// Escalate fast, relax fast: the test wants transitions, not
+			// production hysteresis.
+			EscalateTicks: 1,
+			RelaxTicks:    2,
+		},
+		Resilience: ResilienceConfig{
+			Enabled: true,
+			Breaker: resilience.BreakerConfig{
+				Window: 4, MinSamples: 2, FailureThreshold: 0.5,
+				Cooldown: 20 * time.Millisecond, Probes: 1,
+			},
+		},
+	})
+	var mu sync.Mutex
+	var reasons []string
+	e.OnDegrade(func(tr DegradeTransition) {
+		mu.Lock()
+		reasons = append(reasons, tr.Reason)
+		mu.Unlock()
+	})
+
+	for i := 0; i < 2; i++ {
+		e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, uint64(i))})
+	}
+	if !e.BreakerOpen(RouteHard) {
+		t.Fatal("hard breaker did not open")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.DegradeLevel() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lvl := e.DegradeLevel(); lvl < 1 {
+		t.Fatal("ladder never escalated on an open breaker")
+	}
+	mu.Lock()
+	sawBreaker := false
+	for _, r := range reasons {
+		if strings.Contains(r, "breaker") {
+			sawBreaker = true
+		}
+	}
+	mu.Unlock()
+	if !sawBreaker {
+		t.Fatalf("no transition cited the breaker: %v", reasons)
+	}
+	// Breaker evidence must never push into the shed rung (default ladder:
+	// full, exit, shed) — exit's pinned easy route is healthy.
+	if lvl := e.DegradeLevel(); lvl >= 2 {
+		t.Fatalf("breaker evidence reached the shed rung (level %d)", lvl)
+	}
+
+	// Heal: keep traffic flowing so relaxation re-exposes the hard route
+	// and its probes close the breaker; the ladder then settles at 0.
+	inj.SetStuck("")
+	settled := false
+	for time.Now().Before(deadline) {
+		e.Submit(context.Background(), Request{Pixels: stubbornHardImage(t, 9)})
+		if e.DegradeLevel() == 0 && !e.BreakerOpen(RouteHard) {
+			settled = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !settled {
+		t.Fatalf("engine never healed: level=%d breakerOpen=%v",
+			e.DegradeLevel(), e.BreakerOpen(RouteHard))
+	}
+}
+
+// TestRunBatchZeroAllocResilience re-pins the steady-state zero-alloc
+// contract with the fault-isolation layer armed: fingerprint accounting,
+// breaker observes, and budget earning on the happy path must all stay
+// off the heap.
+func TestRunBatchZeroAllocResilience(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc assertion only meaningful without -race")
+	}
+	const n = 16
+	pipe := testPipeline()
+	e := New(pipe, Config{MaxBatch: n, Workers: 1,
+		Resilience: ResilienceConfig{Enabled: true}})
+	defer e.Close()
+	for _, img := range [][]float32{easyImage(7), hardImage(7)} {
+		if _, err := e.Submit(context.Background(), Request{Pixels: img}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := e.newWorker(e.hard, 99)
+	if w.ps == nil {
+		t.Fatal("test pipeline should plan-compile")
+	}
+	batch := make([]*request, n)
+	for i := range batch {
+		batch[i] = &request{id: uint64(i), pixels: hardImage(uint64(i)), done: make(chan outcome, 1)}
+	}
+	batch[0].tOpen = 1
+	run := func() {
+		e.runBatch(e.hard, batch, w)
+		for _, r := range batch {
+			<-r.done
+		}
+	}
+	run()
+	run()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(30, run); allocs != 0 {
+		t.Errorf("resilience-armed runBatch: %v allocs per warm batch, want 0", allocs)
+	}
+}

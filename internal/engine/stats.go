@@ -110,13 +110,14 @@ type Snapshot struct {
 	// dropped (batch formation) because their deadline had already
 	// passed; InferFailed counts requests failed by inference errors or
 	// recovered worker panics.
-	Shed             int64            `json:"shed"`
-	DeadlineExpired  int64            `json:"deadlineExpired"`
-	InferFailed      int64            `json:"inferFailed"`
-	Abandoned        int64            `json:"abandoned"`
-	ThroughputPerSec float64          `json:"throughputPerSec"`
-	Routes           []RouteSnapshot  `json:"routes"`
-	Degrade          *DegradeSnapshot `json:"degrade,omitempty"`
+	Shed             int64               `json:"shed"`
+	DeadlineExpired  int64               `json:"deadlineExpired"`
+	InferFailed      int64               `json:"inferFailed"`
+	Abandoned        int64               `json:"abandoned"`
+	ThroughputPerSec float64             `json:"throughputPerSec"`
+	Routes           []RouteSnapshot     `json:"routes"`
+	Degrade          *DegradeSnapshot    `json:"degrade,omitempty"`
+	Resilience       *ResilienceSnapshot `json:"resilience,omitempty"`
 }
 
 // Stats returns a point-in-time view of the engine's counters and
@@ -134,6 +135,7 @@ func (e *Engine) Stats() Snapshot {
 		InferFailed:     e.stats.inferFailed.Value(),
 		Abandoned:       e.stats.abandoned.Value(),
 		Degrade:         e.deg.snapshot(),
+		Resilience:      e.Resilience(),
 	}
 	if uptime > 0 {
 		snap.ThroughputPerSec = float64(snap.Completed) / uptime

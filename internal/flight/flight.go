@@ -43,6 +43,13 @@ const (
 	// KindDegrade marks a degradation-ladder transition: Status carries
 	// the new level, Route the interned destination rung name.
 	KindDegrade
+	// KindBreaker marks a circuit-breaker state transition: Status
+	// carries the new state (0 closed, 1 open, 2 half-open), Route the
+	// interned name of the guarded route.
+	KindBreaker
+	// KindQuarantine marks a request rejected at admission because its
+	// content fingerprint matched a quarantined poison pill.
+	KindQuarantine
 )
 
 // String names the kind for dump rendering.
@@ -60,6 +67,10 @@ func (k EventKind) String() string {
 		return "abandon"
 	case KindDegrade:
 		return "degrade"
+	case KindBreaker:
+		return "breaker"
+	case KindQuarantine:
+		return "quarantine"
 	}
 	return "unknown"
 }
@@ -367,6 +378,34 @@ func (r *Recorder) Trip(reason string) {
 	if r.dir != "" {
 		if err := r.writeDump(d, seq, now); err != nil {
 			// Dumping is best-effort; leave a trace in the log tail.
+			r.logs.append(fmt.Sprintf("flight: dump write failed: %v", err))
+		}
+	}
+	r.mu.Lock()
+	hook := r.onDump
+	r.mu.Unlock()
+	if hook != nil {
+		hook(d)
+	}
+}
+
+// DumpNow writes an unconditional dump for the given reason, bypassing
+// the auto-dump cooldown and without consuming it (a shutdown dump must
+// not suppress — or be suppressed by — a recent burn/burst trip). It is
+// the graceful-shutdown hook.
+func (r *Recorder) DumpNow(reason string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.dumpSeq++
+	seq := r.dumpSeq
+	r.mu.Unlock()
+	d := r.snapshot(reason, now)
+	d.Trigger = reason
+	if r.dir != "" {
+		if err := r.writeDump(d, seq, now); err != nil {
 			r.logs.append(fmt.Sprintf("flight: dump write failed: %v", err))
 		}
 	}

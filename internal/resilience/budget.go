@@ -1,0 +1,103 @@
+package resilience
+
+import "sync/atomic"
+
+// BudgetConfig tunes a retry Budget. Zero values take the defaults.
+type BudgetConfig struct {
+	// Ratio is how many retry tokens each successful request earns —
+	// 0.1 means internal re-dispatch may consume up to ~10% of the
+	// successful traffic volume. Default 0.1.
+	Ratio float64
+	// Burst caps the bucket in whole tokens, bounding how large a retry
+	// storm an idle period can bank. Default 50.
+	Burst int
+	// Initial seeds the bucket so the very first failure can still be
+	// bisected before any successes have been observed. Default 10.
+	Initial int
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Ratio <= 0 {
+		c.Ratio = 0.1
+	}
+	if c.Burst <= 0 {
+		c.Burst = 50
+	}
+	if c.Initial <= 0 {
+		c.Initial = 10
+	}
+	if c.Initial > c.Burst {
+		c.Initial = c.Burst
+	}
+	return c
+}
+
+// Budget is a token bucket funding internal re-dispatch: bisection
+// sub-batch re-runs spend a token each, successful requests earn
+// fractional tokens back. When the bucket runs dry re-runs are denied and
+// the remaining suspects fail as a group — a hard-failing route degrades
+// to exactly the pre-bisection behavior instead of amplifying load.
+// All methods are lock-free and allocation-free.
+type Budget struct {
+	cfg       BudgetConfig
+	earnMilli int64
+	capMilli  int64
+
+	tokens atomic.Int64 // milli-tokens
+	spent  atomic.Uint64
+	denied atomic.Uint64
+}
+
+// NewBudget builds a budget seeded with cfg.Initial tokens.
+func NewBudget(cfg BudgetConfig) *Budget {
+	cfg = cfg.withDefaults()
+	b := &Budget{
+		cfg:       cfg,
+		earnMilli: int64(cfg.Ratio * 1000),
+		capMilli:  int64(cfg.Burst) * 1000,
+	}
+	b.tokens.Store(int64(cfg.Initial) * 1000)
+	return b
+}
+
+// OnSuccess credits the bucket for one successfully served request,
+// clamped at the burst cap.
+func (b *Budget) OnSuccess() {
+	for {
+		cur := b.tokens.Load()
+		if cur >= b.capMilli {
+			return
+		}
+		next := cur + b.earnMilli
+		if next > b.capMilli {
+			next = b.capMilli
+		}
+		if b.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Allow spends one whole token if available.
+func (b *Budget) Allow() bool {
+	for {
+		cur := b.tokens.Load()
+		if cur < 1000 {
+			b.denied.Add(1)
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-1000) {
+			b.spent.Add(1)
+			return true
+		}
+	}
+}
+
+// Tokens reports the current balance in whole tokens.
+func (b *Budget) Tokens() float64 { return float64(b.tokens.Load()) / 1000 }
+
+// Spent reports how many tokens Allow has granted.
+func (b *Budget) Spent() uint64 { return b.spent.Load() }
+
+// Denied reports how many Allow calls found the bucket dry.
+func (b *Budget) Denied() uint64 { return b.denied.Load() }

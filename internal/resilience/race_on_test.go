@@ -1,0 +1,8 @@
+//go:build race
+
+package resilience
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count regressions are skipped under race because the
+// detector's shadow memory inflates alloc counts.
+const raceEnabled = true

@@ -1,0 +1,36 @@
+// Package resilience holds the serving stack's fault-isolation
+// primitives: a per-route circuit Breaker, a retry-token Budget, and a
+// poison-pill Quarantine. The engine wires them together with batch
+// bisection (internal/engine) so that one malformed input, one flaky
+// route, or one hard failure costs only itself — never its co-batch, its
+// route's innocent traffic, or the fleet's retry capacity.
+//
+// Everything on a request's happy path — Breaker.Observe/Allow,
+// Budget.OnSuccess/Allow, Quarantine.Check, Fingerprint — is built on
+// atomics only: no locks, no heap allocations, regression-tested with
+// AllocsPerRun the same way internal/slo pins Observe. State transitions
+// (a breaker tripping open, a probe closing it) are cold paths and may do
+// real work (callbacks, ring resets).
+package resilience
+
+import "math"
+
+// Fingerprint hashes an input image into the 64-bit content key the
+// quarantine ring stores: FNV-1a over the raw float bits, so bit-identical
+// resubmissions of a poison pill collide and nothing else plausibly does.
+// Never returns 0 (the quarantine's empty-slot sentinel). Zero allocs.
+func Fingerprint(pixels []float32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range pixels {
+		h ^= uint64(math.Float32bits(v))
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

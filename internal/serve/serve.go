@@ -4,6 +4,10 @@
 // Endpoints:
 //
 //	GET  /healthz       liveness probe
+//	GET  /readyz        readiness probe: 503 with machine-readable reasons
+//	                    while draining, shedding at the degradation
+//	                    ladder's floor, or a serving route's circuit
+//	                    breaker is open
 //	GET  /info          model and device-profile metadata
 //	GET  /stats         inference-engine counters, batch histograms, latencies
 //	GET  /metrics       Prometheus text exposition (per-route counters,
@@ -46,7 +50,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"cbnet/internal/core"
@@ -97,6 +103,10 @@ type Server struct {
 
 	// defaultDeadline bounds requests that carry no deadline header.
 	defaultDeadline time.Duration
+
+	// draining flips when Close starts; /readyz reports 503 from then on
+	// so load balancers stop routing here before in-flight work finishes.
+	draining atomic.Bool
 
 	log *slog.Logger
 	mux *http.ServeMux
@@ -181,7 +191,15 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 	}
 
 	// Flight recorder first (the SLO monitor's trip callback lands on it);
-	// its dump context closes over s, attached after construction.
+	// its dump context closes over s, attached after construction. Create
+	// the dump directory up front: a missing directory would otherwise
+	// surface only as a buried log line at dump time — during the incident.
+	if opts.FlightDir != "" {
+		if err := os.MkdirAll(opts.FlightDir, 0o755); err != nil {
+			s.log.Warn("flight dir unavailable, dumps stay in memory", "dir", opts.FlightDir, "err", err)
+			opts.FlightDir = ""
+		}
+	}
 	s.flight = flight.New(flight.Config{Dir: opts.FlightDir})
 	s.flight.SetContext(s.flightContext)
 	// Route the server's own records through the flight log tee so dumps
@@ -227,6 +245,18 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 			Route: trace.Intern(tr.ToRung), Status: tr.To,
 		})
 	})
+	// Fault-isolation wiring: circuit-breaker transitions land in the log
+	// and the flight ring (Status carries the new state — 0 closed, 1 open,
+	// 2 half-open — Route the breaker's route). No-op when the engine's
+	// resilience layer is off.
+	eng.OnBreaker(func(tr engine.BreakerTransition) {
+		s.log.Warn("breaker transition",
+			"route", string(tr.Route), "from", tr.From.String(), "to", tr.To.String())
+		s.flight.Record(flight.Event{
+			T: trace.Now(), Kind: flight.KindBreaker,
+			Route: trace.Intern(string(tr.Route)), Status: int(tr.To),
+		})
+	})
 	eng.SetDegradeBurnSignal(func() float64 {
 		snap := s.latT.Snapshot(time.Now())
 		if len(snap.Windows) == 0 {
@@ -237,6 +267,7 @@ func NewWithOptions(p *core.Pipeline, eng *engine.Engine, prof device.Profile, f
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -303,15 +334,62 @@ func (s *Server) flightContext() map[string]any {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close stops the SLO monitor and drains the inference engine; in-flight
-// requests complete, new ones get 503.
+// requests complete, new ones get 503. /readyz reports not-ready from the
+// first moment of the drain.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.sloMon.Stop()
 	s.Engine.Close()
 }
 
+// BeginDrain marks the server not-ready (/readyz answers 503) without
+// stopping any work — a graceful shutdown calls it first so load
+// balancers steer new traffic away while in-flight requests finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// DumpFlight writes an unconditional flight-recorder dump for the given
+// reason (file only when Options.FlightDir is set), bypassing the
+// auto-dump cooldown. cmd/cbnet-serve calls it on graceful shutdown so
+// the final request-lifecycle window survives the process.
+func (s *Server) DumpFlight(reason string) { s.flight.DumpNow(reason) }
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// ReadyResponse is the /readyz payload. Ready is false while the server
+// drains, the degradation ladder sheds, or a serving route's circuit
+// breaker is open; Reasons lists every cause currently holding readiness
+// down.
+type ReadyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// handleReady is the readiness probe: unlike /healthz (liveness — is the
+// process up), it answers "should a load balancer send traffic here right
+// now". 503 while draining, while the ladder sits at a shed rung, or
+// while a breaker holds a serving route open (traffic is being diverted
+// or refused, so a replica with healthy routes is a better target).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining: shutdown in progress")
+	}
+	if s.Engine.Shedding() {
+		reasons = append(reasons, "shedding: degradation ladder at its floor rung")
+	}
+	for _, name := range []engine.RouteName{engine.RouteEasy, engine.RouteHard} {
+		if s.Engine.BreakerOpen(name) {
+			reasons = append(reasons, fmt.Sprintf("breaker open: route %s", name))
+		}
+	}
+	status := http.StatusOK
+	if len(reasons) > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons})
 }
 
 // InfoResponse is the /info payload.
@@ -333,6 +411,10 @@ type InfoResponse struct {
 	// DefaultDeadlineMS is the per-request deadline applied when the
 	// client sends no DeadlineHeader (absent = none).
 	DefaultDeadlineMS float64 `json:"defaultDeadlineMs,omitempty"`
+	// ResilienceEnabled reports whether the fault-isolation layer (batch
+	// bisection, poison-pill quarantine, per-route circuit breakers, retry
+	// budget) is armed; when true, /readyz also tracks breaker state.
+	ResilienceEnabled bool `json:"resilienceEnabled"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
@@ -351,6 +433,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		RoutingEnabled:    !cfg.DisableRouting,
 		DegradeLadder:     s.Engine.DegradeLadder(),
 		DefaultDeadlineMS: float64(s.defaultDeadline) / float64(time.Millisecond),
+		ResilienceEnabled: cfg.Resilience.Enabled,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -464,8 +547,12 @@ type ClassifyResponse struct {
 func (s *Server) failClassify(w http.ResponseWriter, reqID uint64, status int, msg string) {
 	s.availT.Observe(status < 500)
 	kind := flight.KindError
-	if status == http.StatusServiceUnavailable {
+	switch status {
+	case http.StatusServiceUnavailable:
 		kind = flight.KindReject
+	case http.StatusUnprocessableEntity:
+		// Only quarantined poison pills are answered 422.
+		kind = flight.KindQuarantine
 	}
 	now := trace.Now()
 	s.flight.Record(flight.Event{T: now, Kind: kind, RequestID: reqID, Status: status})
@@ -558,6 +645,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, engine.ErrClosed):
 		s.failClassify(w, reqID, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case errors.Is(err, engine.ErrPoisoned):
+		// The input's fingerprint matches a quarantined poison pill: a
+		// bit-identical submission previously crashed or failed inference
+		// and was convicted by bisection. 422 (not 5xx) because the input
+		// itself is the problem — resubmitting it will never succeed, and
+		// the rejection must not burn the availability budget.
+		s.failClassify(w, reqID, http.StatusUnprocessableEntity, "input quarantined as a poison pill")
 		return
 	case errors.Is(err, engine.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		// The deadline (header or server default) ran out before the

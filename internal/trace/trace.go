@@ -50,6 +50,9 @@ const (
 	KindExecute
 	// KindRespond covers delivering one batch's results to its callers.
 	KindRespond
+	// KindBisect covers one fault-isolation re-run of a sub-batch after
+	// its parent batch failed; Ref links to the failed parent batch.
+	KindBisect
 )
 
 // String names the kind for trace rendering.
@@ -65,6 +68,8 @@ func (k Kind) String() string {
 		return "execute"
 	case KindRespond:
 		return "respond"
+	case KindBisect:
+		return "bisect"
 	}
 	return "unknown"
 }
