@@ -63,6 +63,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		devName   = flag.String("device", "RaspberryPi4", "device profile for latency estimates")
 		workers   = flag.Int("workers", 0, "inference workers per route (0 = auto)")
+		gemmThr   = flag.Int("gemm-threads", 0, "goroutines one large GEMM may fan out across inside a worker (0 = auto: workers x routes x gemm-threads <= GOMAXPROCS; negative = force serial)")
 		maxBatch  = flag.Int("max-batch", 32, "micro-batch flush size")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch flush deadline")
 		queue     = flag.Int("queue-depth", 256, "per-route admission queue bound")
@@ -96,6 +97,7 @@ func main() {
 	slog.SetDefault(logger)
 	cfg := engine.Config{
 		Workers:           *workers,
+		GEMMThreads:       *gemmThr,
 		MaxBatch:          *maxBatch,
 		MaxWait:           *maxWait,
 		QueueDepth:        *queue,

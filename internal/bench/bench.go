@@ -34,12 +34,18 @@ import (
 
 // Result is one benchmark's measurement.
 type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"nsPerOp"`
-	AllocsPerOp int64              `json:"allocsPerOp"`
-	BytesPerOp  int64              `json:"bytesPerOp"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// Gomaxprocs is the parallelism the row was captured under. The
+	// multi-thread scaling rows (-t2/-t4/-t8) only mean what they claim on
+	// hosts where this is at least the row's thread count; on smaller
+	// capture hosts the extra threads time-slice and the row measures pool
+	// overhead instead of speedup.
+	Gomaxprocs int                `json:"gomaxprocs"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the full perf capture written to BENCH_<date>.json.
@@ -51,6 +57,7 @@ type Snapshot struct {
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	FMAKernel  bool     `json:"fmaKernel"`
+	GEMMKernel string   `json:"gemmKernel,omitempty"`
 	Results    []Result `json:"results"`
 }
 
@@ -65,6 +72,9 @@ func registry() []benchDef {
 	return []benchDef{
 		{"gemm/naive/256x256x256", benchGEMMNaive256},
 		{"gemm/dispatch/256x256x256", benchGEMMDispatch256},
+		{"gemm/dispatch/256x256x256-t2", benchGEMMDispatchThreads(2)},
+		{"gemm/dispatch/256x256x256-t4", benchGEMMDispatchThreads(4)},
+		{"gemm/dispatch/256x256x256-t8", benchGEMMDispatchThreads(8)},
 		{"gemm/dispatch/conv2-batch32", benchShape(48, 75, 3200)},
 		{"gemm/dispatch/conv3-batch32", benchShape(256, 1200, 32)},
 		{"gemm/dispatch/dense784x128-batch32", benchShape(32, 784, 128)},
@@ -74,6 +84,7 @@ func registry() []benchDef {
 		{"rowops/sumrows/256x784", benchSumRows},
 		{"pipeline/classify-direct/batch16", benchClassifyDirect},
 		{"pipeline/infer/batch16", benchInfer},
+		{"pipeline/forward-batch16-t4", benchInferThreads(4)},
 		{"pipeline/infer-traced/batch16", benchInferTraced},
 		{"pipeline/infer-scratch/batch16", benchInferScratch},
 		{"engine/throughput/routed", benchEngineThroughput},
@@ -104,6 +115,7 @@ func Run(now time.Time, filters ...string) Snapshot {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		FMAKernel:  tensor.BlockedKernelEnabled(),
+		GEMMKernel: tensor.GEMMKernelName(),
 	}
 	for _, d := range registry() {
 		if !matches(d.name, filters) {
@@ -116,6 +128,7 @@ func Run(now time.Time, filters ...string) Snapshot {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
 		}
 		if len(r.Extra) > 0 {
 			res.Metrics = make(map[string]float64, len(r.Extra))
@@ -200,6 +213,21 @@ func benchGEMMDispatch256(b *testing.B) {
 	benchGEMMAt(b, 256, 256, 256, func(a, bb, c []float32) {
 		tensor.GEMM(a, bb, c, 256, 256, 256, 1, 0)
 	})
+}
+
+// benchGEMMDispatchThreads is the single-GEMM scaling curve: the 256³
+// dispatch row with the intra-GEMM worker pool forced to the given fan-out.
+// Read against the -t1 (plain dispatch) row: the ratio is the speedup one
+// large GEMM gets from the pool on this host — per-row gomaxprocs says
+// whether the threads had cores to land on.
+func benchGEMMDispatchThreads(threads int) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := tensor.SetGEMMThreads(threads)
+		defer tensor.SetGEMMThreads(prev)
+		benchGEMMAt(b, 256, 256, 256, func(a, bb, c []float32) {
+			tensor.GEMM(a, bb, c, 256, 256, 256, 1, 0)
+		})
+	}
 }
 
 func benchShape(m, k, n int) func(b *testing.B) {
@@ -296,6 +324,26 @@ func benchInfer(b *testing.B) {
 		pipe.InferInto(dst, x)
 	}
 	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+}
+
+// benchInferThreads measures the full serving forward pass with intra-GEMM
+// parallelism engaged — the per-worker latency picture when the engine
+// grants each worker a multi-thread GEMM budget.
+func benchInferThreads(threads int) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := tensor.SetGEMMThreads(threads)
+		defer tensor.SetGEMMThreads(prev)
+		pipe := perfPipeline()
+		x := perfBatch(16)
+		dst := make([]int, 16)
+		pipe.InferInto(dst, x) // compile plans outside the window
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.InferInto(dst, x)
+		}
+		b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "imgs/s")
+	}
 }
 
 // benchInferTraced measures the full serving path on a plan set with the

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestGEMMThreadsFor pins the worker-budget arithmetic: explicit settings
+// pass through, negatives force serial, and the automatic default divides
+// GOMAXPROCS across every live inference goroutine so workers × routes ×
+// gemm-threads never exceeds the machine.
+func TestGEMMThreadsFor(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		{"explicit", Config{GEMMThreads: 3, Workers: 8}, 3},
+		{"negative-serial", Config{GEMMThreads: -1, Workers: 1}, 1},
+		{"auto-saturated", Config{Workers: gmp}, 1}, // workers alone fill the machine
+		{"auto-single-worker-disable-routing", Config{Workers: 1, DisableRouting: true}, max(1, gmp)},
+		{"auto-two-routes", Config{Workers: 1}, max(1, gmp/2)},
+		{"auto-with-variants", Config{Workers: 1, Variants: []Variant{{}, {}}}, max(1, gmp/4)},
+	} {
+		if got := gemmThreadsFor(tc.cfg); got != tc.want {
+			t.Errorf("%s: gemmThreadsFor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

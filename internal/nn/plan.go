@@ -420,7 +420,9 @@ func (p *Plan) String() string {
 // Execute — copy out anything that must live longer. When dst is non-nil
 // (n×outW, caller-owned) the final step writes straight into it and dst is
 // returned. Once warm, Execute performs zero heap allocations in the serial
-// regime (parallel fan-out spawns goroutines).
+// regime; large GEMM steps additionally fan out across the tensor package's
+// persistent worker pool when tensor.SetGEMMThreads allows (batch-row
+// fan-out spawns goroutines, intra-GEMM fan-out recycles pool workers).
 func (p *Plan) Execute(dst, x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != p.inW {
 		panic(fmt.Sprintf("nn: plan %s: input shape %v, want (N, %d)", p.name, x.Shape, p.inW))

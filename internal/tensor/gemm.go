@@ -53,10 +53,11 @@ func GEMM(a, b, c []float32, m, k, n int, alpha, beta float32) {
 
 // useBlocked is the single dispatch gate for the blocked micro-kernel path:
 // an FMA kernel must exist, the problem must be large enough to amortize
-// packing, at least one full nr-wide tile column must exist, the depth must
-// cover the kernel's unrolled loads, and multi-row (m==1 is gemv's job).
+// packing, at least one full tile column of the active kernel's width must
+// exist, the depth must cover the kernel's unrolled loads, and multi-row
+// (m==1 is gemv's job).
 func useBlocked(m, k, n int) bool {
-	return blockedEnabled && m > 1 && m*k*n >= blockedMinFlops && n >= nr && k >= 4
+	return blockedEnabled && m > 1 && m*k*n >= blockedMinFlops && n >= activeKernel.nr && k >= 4
 }
 
 // MatMulTransA computes C = Aᵀ × B without materializing Aᵀ.
@@ -310,19 +311,47 @@ func gemvRow(a, b, c []float32, k, n int, alpha, beta float32) {
 	}
 }
 
-// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
-// in parallel when the problem (measured in flops) is large enough.
-func parallelRows(rows, flops int, fn func(i0, i1 int)) {
+// Fan-out floor for row-sliced work: a goroutine handoff + WaitGroup wake
+// costs on the order of a few thousand flops' worth of time, so a worker
+// whose slice is only a row or two of light work loses more to scheduling
+// than it computes. Light rows therefore need minRowsPerWorker rows each
+// before another worker pays off (BenchmarkParallelRowsFloor); rows heavy
+// enough to dwarf the handoff (heavyRowFlops, ~an 8×64×64 GEMM each) may
+// split all the way down to one row per worker — that is the engine's
+// batch-level fan-out over a handful of expensive images.
+const (
+	minRowsPerWorker = 4
+	heavyRowFlops    = parallelThreshold / 8
+)
+
+// maxRowWorkers returns how many goroutines row-sliced work over rows rows
+// totalling flops flops deserves (1 = stay serial).
+func maxRowWorkers(rows, flops int) int {
 	workers := runtime.GOMAXPROCS(0)
-	if rows == 0 {
-		return
-	}
 	if flops < parallelThreshold || workers < 2 || rows < 2 {
-		fn(0, rows)
-		return
+		return 1
 	}
 	if workers > rows {
 		workers = rows
+	}
+	if flops/rows < heavyRowFlops {
+		if cap := rows / minRowsPerWorker; cap < workers {
+			workers = cap
+		}
+	}
+	return workers
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
+// in parallel when the problem (measured in flops) is large enough.
+func parallelRows(rows, flops int, fn func(i0, i1 int)) {
+	if rows == 0 {
+		return
+	}
+	workers := maxRowWorkers(rows, flops)
+	if workers < 2 {
+		fn(0, rows)
+		return
 	}
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -355,7 +384,7 @@ func ParallelFor(n, costPerItem int, fn func(i0, i1 int)) {
 // direct serial call — constructing the closure ParallelFor needs forces a
 // heap allocation even when the work ends up running inline.
 func ShouldParallel(items, costPerItem int) bool {
-	return items >= 2 && items*costPerItem >= parallelThreshold && runtime.GOMAXPROCS(0) >= 2
+	return maxRowWorkers(items, items*costPerItem) > 1
 }
 
 // MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k). Rows are

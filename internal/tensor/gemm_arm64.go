@@ -1,0 +1,30 @@
+//go:build arm64
+
+package tensor
+
+// Assembly binding for the NEON micro-kernel (gemm_arm64.s) — the paper's
+// Raspberry Pi target. ASIMD (NEON) with float32 FMLA is part of the arm64
+// baseline Go requires, so unlike the x86 kernels there is no runtime
+// feature gate: the kernel is always available on this GOARCH.
+
+//go:noescape
+func neonKernel8x8(kc int, ap, bp, acc *float32)
+
+// archKernels registers the arm64 assembly kernel.
+func archKernels() []kernelDesc {
+	return []kernelDesc{
+		{name: "neon-8x8", mr: 8, nr: 8, fma: true, available: true, priority: 10, fn: neonKernel},
+	}
+}
+
+// neonKernel adapts the NEON assembly micro-kernel to the registry calling
+// shape.
+func neonKernel(kc int, ap, bp []float32, acc *[maxMR * maxNR]float32) {
+	if kc == 0 {
+		for i := range acc[:64] {
+			acc[i] = 0
+		}
+		return
+	}
+	neonKernel8x8(kc, &ap[0], &bp[0], &acc[0])
+}

@@ -1,0 +1,80 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func neonKernel8x8(kc int, ap, bp, acc *float32)
+//
+// The 8×8 NEON micro-kernel: acc[8][8] = Asliver × Bsliver over packed
+// panels (ap: kc groups of 8 A values, bp: kc groups of 8 B values).
+// Sixteen 128-bit quads V0–V15 hold the full accumulator tile (row i in
+// V2i|V2i+1); each k step loads both slivers' 8 values (two quads each),
+// broadcasts every A lane with VDUP, and issues 16 four-wide FMLAs —
+// 128 flops per 4 loads. Go's arm64 assembler has no by-element FMLA
+// form, hence the explicit lane broadcasts.
+TEXT ·neonKernel8x8(SB), NOSPLIT, $0-32
+	MOVD kc+0(FP), R0
+	MOVD ap+8(FP), R1
+	MOVD bp+16(FP), R2
+	MOVD acc+24(FP), R3
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+	CBZ R0, store
+
+loop:
+	VLD1.P 32(R1), [V16.S4, V17.S4] // a[0..7]
+	VLD1.P 32(R2), [V18.S4, V19.S4] // b[0..7]
+
+	VDUP  V16.S[0], V20.S4
+	VFMLA V20.S4, V18.S4, V0.S4
+	VFMLA V20.S4, V19.S4, V1.S4
+	VDUP  V16.S[1], V21.S4
+	VFMLA V21.S4, V18.S4, V2.S4
+	VFMLA V21.S4, V19.S4, V3.S4
+	VDUP  V16.S[2], V20.S4
+	VFMLA V20.S4, V18.S4, V4.S4
+	VFMLA V20.S4, V19.S4, V5.S4
+	VDUP  V16.S[3], V21.S4
+	VFMLA V21.S4, V18.S4, V6.S4
+	VFMLA V21.S4, V19.S4, V7.S4
+	VDUP  V17.S[0], V20.S4
+	VFMLA V20.S4, V18.S4, V8.S4
+	VFMLA V20.S4, V19.S4, V9.S4
+	VDUP  V17.S[1], V21.S4
+	VFMLA V21.S4, V18.S4, V10.S4
+	VFMLA V21.S4, V19.S4, V11.S4
+	VDUP  V17.S[2], V20.S4
+	VFMLA V20.S4, V18.S4, V12.S4
+	VFMLA V20.S4, V19.S4, V13.S4
+	VDUP  V17.S[3], V21.S4
+	VFMLA V21.S4, V18.S4, V14.S4
+	VFMLA V21.S4, V19.S4, V15.S4
+
+	SUB  $1, R0, R0
+	CBNZ R0, loop
+
+store:
+	VST1.P [V0.S4, V1.S4], 32(R3)
+	VST1.P [V2.S4, V3.S4], 32(R3)
+	VST1.P [V4.S4, V5.S4], 32(R3)
+	VST1.P [V6.S4, V7.S4], 32(R3)
+	VST1.P [V8.S4, V9.S4], 32(R3)
+	VST1.P [V10.S4, V11.S4], 32(R3)
+	VST1.P [V12.S4, V13.S4], 32(R3)
+	VST1.P [V14.S4, V15.S4], 32(R3)
+	RET

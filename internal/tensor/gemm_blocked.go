@@ -17,17 +17,20 @@ import "sync"
 //	        C[ic+ir, jc+jr] = beta*C + alpha*acc
 //
 // The mr×nr micro-kernel keeps the full accumulator tile in registers and
-// streams both packed slivers sequentially, so the inner loop performs
-// 2·mr·nr flops per mr+nr loads. On amd64 with AVX2+FMA the kernel is the
-// hand-written assembly in gemm_amd64.s (8 YMM accumulators, one fused
-// multiply-add per C row per k step); elsewhere it is kernel8x8Generic.
+// streams both packed slivers sequentially. Its tile shape comes from the
+// kernel registry (gemm_kernels.go): 8×8 YMM on AVX2/FMA, 8×16 ZMM on
+// AVX-512, 8×8 over NEON quads on arm64, with the portable generic kernel
+// as the universal fallback and oracle reference.
+//
+// Large panels are partitioned over the persistent worker pool
+// (gemm_pool.go): the IC (row-block) and JR (sliver-chunk) loops become a
+// task grid drained by up to GEMMThreads goroutines, each packing A blocks
+// into its own buffers while sharing the one packed B panel; a barrier per
+// (jc, pc) panel preserves the depth-accumulation and epilogue ordering.
 //
 // Packing uses zero padding up to the mr/nr multiple, so the micro-kernel
 // never sees a partial tile; the write-back handles ragged C edges.
 const (
-	mr = 8 // micro-kernel rows (accumulator tile height)
-	nr = 8 // micro-kernel cols (one YMM vector of float32)
-
 	blockKC = 256  // depth block: an mr×kc A sliver (8 KB) stays L1-resident
 	blockMC = 128  // row block: the packed A panel (mc×kc ≈ 128 KB) fits L2
 	blockNC = 2048 // col block: the packed B panel (kc×nc ≈ 2 MB) fits L3
@@ -39,13 +42,13 @@ const (
 
 // blockedEnabled reports whether the blocked path beats the axpy fallback on
 // this machine. It is true only when a fused-multiply-add micro-kernel is
-// available (amd64 with AVX2+FMA): the generic micro-kernel has the same
+// available (see the kernel registry): the generic micro-kernel has the same
 // scalar ALU ceiling as the axpy loop, so packing would be pure overhead.
 // Tests flip it to pin down both dispatch paths.
 var blockedEnabled = false
 
 // BlockedKernelEnabled reports whether GEMM dispatch is using the blocked
-// FMA micro-kernel on this machine (amd64 with AVX2+FMA detected at init).
+// FMA micro-kernel on this machine (a hardware kernel detected at init).
 func BlockedKernelEnabled() bool { return blockedEnabled }
 
 // SetBlockedKernelForTest overrides the blocked-kernel dispatch gate and
@@ -60,35 +63,15 @@ func SetBlockedKernelForTest(enabled bool) bool {
 	return prev
 }
 
-// microKernel computes acc = Asliver × Bsliver over packed panels: ap holds
-// kc groups of mr A values, bp holds kc groups of nr B values, and acc is
-// the row-major mr×nr product tile (overwritten, not accumulated).
-var microKernel = kernel8x8Generic
-
-// kernel8x8Generic is the portable micro-kernel, used when no assembly
-// kernel exists for the platform and as the oracle the assembly kernel is
-// tested against.
-func kernel8x8Generic(kc int, ap, bp []float32, acc *[mr * nr]float32) {
-	*acc = [mr * nr]float32{}
-	for p := 0; p < kc; p++ {
-		bv := bp[p*nr : p*nr+nr : p*nr+nr]
-		av := ap[p*mr : p*mr+mr : p*mr+mr]
-		for i, a := range av {
-			row := acc[i*nr : i*nr+nr]
-			for j := range row {
-				row[j] += a * bv[j]
-			}
-		}
-	}
-}
-
 // gemmBuf is the reusable packing scratch for one goroutine's share of a
 // blocked GEMM. Buffers grow to the block maxima on first use and are then
-// recycled through gemmBufPool, so steady-state GEMM calls allocate nothing.
+// recycled — through gemmBufPool for ad-hoc callers, held for life by pool
+// workers and PackScratch owners — so steady-state GEMM calls allocate
+// nothing. The accumulator is sized for the largest registered tile.
 type gemmBuf struct {
 	ap  []float32
 	bp  []float32
-	acc [mr * nr]float32
+	acc [maxMR * maxNR]float32
 }
 
 var gemmBufPool = sync.Pool{New: func() any { return new(gemmBuf) }}
@@ -128,6 +111,24 @@ func (g *gemmBuf) ensureB(n int) []float32 {
 
 func roundUp(x, to int) int { return (x + to - 1) / to * to }
 
+// gemmPanel carries one (jc, pc) panel's full geometry: operand views, the
+// shared packed B panel, scaling, and the kernel in use. It is the unit
+// both the serial sweep and the pool job operate on.
+type gemmPanel struct {
+	a        []float32
+	ars, acs int
+	bp       []float32 // packed B panel for (jc, pc), shared read-only
+	c        []float32
+	m, n     int
+	jc, pc   int
+	kc, nc   int
+	alpha    float32
+	beta     float32 // effective beta for this depth block (1 past pc=0)
+	ep       Epilogue
+	applyEp  bool // final depth block: run the epilogue on write-back
+	kern     kernelDesc
+}
+
 // gemmBlocked computes C = alpha·op(A)·op(B) + beta·C for row-major C
 // (m×n). The operands are addressed through explicit strides — element
 // op(A)[i,p] lives at a[i*ars+p*acs] and op(B)[p,j] at b[p*brs+j*bcs] — so
@@ -135,10 +136,10 @@ func roundUp(x, to int) int { return (x + to - 1) / to * to }
 // without materializing a transpose.
 //
 // A non-identity ep is applied to each C tile on the final depth block,
-// right after its write-back while the tile is cache-resident (ep travels
-// by value so no escape-analysis heap traffic reaches the serial path). A
-// non-nil ps supplies the caller-owned packing panels; otherwise they come
-// from the shared pool.
+// right after its write-back while the tile is cache-resident. A non-nil ps
+// supplies the caller-owned packing panels; otherwise they come from the
+// shared pool. Panels big enough to amortize the barrier fan out over the
+// worker pool, up to GEMMThreads goroutines per call.
 func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, m, k, n int, alpha, beta float32, ep Epilogue, ps *PackScratch) {
 	var db *gemmBuf
 	if ps != nil {
@@ -148,67 +149,69 @@ func gemmBlocked(a []float32, ars, acs int, b []float32, brs, bcs int, c []float
 		defer gemmBufPool.Put(pooled)
 		db = pooled
 	}
-	for jcLoop := 0; jcLoop < n; jcLoop += blockNC {
-		// Per-iteration copies: the parallel branch's closure must not
-		// capture the loop induction variables by reference, which would
-		// heap-box them even on the serial path.
-		jc := jcLoop
+	kern := activeKernel
+	pn := gemmPanel{a: a, ars: ars, acs: acs, c: c, m: m, n: n, alpha: alpha, ep: ep, kern: kern}
+	for jc := 0; jc < n; jc += blockNC {
 		nc := min(blockNC, n-jc)
-		bp := db.ensureB(blockKC * roundUp(nc, nr))
-		for pcLoop := 0; pcLoop < k; pcLoop += blockKC {
-			pc := pcLoop
+		bp := db.ensureB(blockKC * roundUp(nc, kern.nr))
+		for pc := 0; pc < k; pc += blockKC {
 			kc := min(blockKC, k-pc)
-			betaEff := float32(1)
+			pn.jc, pn.pc, pn.kc, pn.nc = jc, pc, kc, nc
+			pn.beta = 1
 			if pc == 0 {
-				betaEff = beta
+				pn.beta = beta
 			}
-			applyEp := !ep.isIdentity() && pc+kc == k
-			packB(b, brs, bcs, pc, jc, kc, nc, bp)
+			pn.applyEp = !ep.isIdentity() && pc+kc == k
+			packB(b, brs, bcs, pc, jc, kc, nc, kern.nr, bp)
+			pn.bp = bp
 			mBlocks := (m + blockMC - 1) / blockMC
-			if !ShouldParallel(mBlocks, 2*m*kc*nc/mBlocks) {
-				// Serial path: no closure construction, no allocation.
-				gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, db, 0, mBlocks)
+			slivers := (nc + kern.nr - 1) / kern.nr
+			threads := gemmFanout(2*m*kc*nc, mBlocks, slivers)
+			if threads < 2 {
+				for ib := 0; ib < mBlocks; ib++ {
+					pn.blockSerial(db, ib)
+				}
 				continue
 			}
-			gemmPanelParallel(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, mBlocks)
+			// Chunk the JR loop only when the row blocks alone cannot
+			// feed every thread; two chunks per thread keeps the cursor
+			// load-balanced without over-fragmenting packed-A reuse.
+			nChunks := 1
+			if mBlocks < 2*threads {
+				nChunks = min(slivers, (2*threads+mBlocks-1)/mBlocks)
+			}
+			sliversPerChunk := (slivers + nChunks - 1) / nChunks
+			nChunks = (slivers + sliversPerChunk - 1) / sliversPerChunk
+			runPanelParallel(&pn, db, threads, mBlocks, nChunks, sliversPerChunk)
 		}
 	}
 }
 
-// gemmPanelParallel fans the A row blocks of one (jc, pc) panel out over
-// goroutines, each with pooled packing panels. It lives in its own frame so
-// the closure's captures (including ep) heap-allocate only on this — already
-// allocating — parallel path, never at gemmBlocked entry.
-func gemmPanelParallel(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, ep Epilogue, applyEp bool, mBlocks int) {
-	parallelRows(mBlocks, 2*m*kc*nc/mBlocks, func(b0, b1 int) {
-		wb := gemmBufPool.Get().(*gemmBuf)
-		defer gemmBufPool.Put(wb)
-		gemmPanelRange(a, ars, acs, bp, c, m, n, jc, pc, kc, nc, alpha, betaEff, ep, applyEp, wb, b0, b1)
-	})
+// blockSerial packs A row block ib and sweeps the full JR range — the
+// no-goroutine path, one packed block reused across every sliver.
+func (pn *gemmPanel) blockSerial(wb *gemmBuf, ib int) {
+	ic := ib * blockMC
+	mc := min(blockMC, pn.m-ic)
+	ap := wb.ensureA(roundUp(mc, pn.kern.mr) * pn.kc)
+	packA(pn.a, pn.ars, pn.acs, ic, pn.pc, mc, pn.kc, pn.kern.mr, ap)
+	pn.sweep(wb, ic, mc, 0, pn.nc)
 }
 
-// gemmPanelRange processes A row blocks [b0, b1) of one (jc, pc) panel:
-// pack each A block into wb.ap and sweep the micro-kernel over the tile
-// grid, applying ep (applyEp is set on the final depth block only) to each
-// tile right after its write-back. bp must hold the packed B panel for
-// (jc, pc). Distinct block ranges touch disjoint C rows, so ranges may run
-// concurrently.
-func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc, nc int, alpha, betaEff float32, ep Epilogue, applyEp bool, wb *gemmBuf, b0, b1 int) {
-	for ib := b0; ib < b1; ib++ {
-		ic := ib * blockMC
-		mc := min(blockMC, m-ic)
-		ap := wb.ensureA(roundUp(mc, mr) * kc)
-		packA(a, ars, acs, ic, pc, mc, kc, ap)
-		for jr := 0; jr < nc; jr += nr {
-			bs := bp[(jr/nr)*kc*nr:][:kc*nr]
-			for ir := 0; ir < mc; ir += mr {
-				as := ap[(ir/mr)*kc*mr:][:kc*mr]
-				microKernel(kc, as, bs, &wb.acc)
-				mEff, nEff := min(mr, mc-ir), min(nr, nc-jr)
-				writeTile(c, n, ic+ir, jc+jr, mEff, nEff, &wb.acc, alpha, betaEff)
-				if applyEp {
-					epilogueTile(c, n, ic+ir, jc+jr, mEff, nEff, &ep)
-				}
+// sweep runs the micro-kernel over the tile grid of one packed A block
+// (rows ic..ic+mc) crossed with the packed B slivers covering columns
+// [jr0, jr1), applying the epilogue to each tile right after its write-back
+// on the final depth block. wb.ap must hold the block's packed slivers.
+func (pn *gemmPanel) sweep(wb *gemmBuf, ic, mc, jr0, jr1 int) {
+	mr, nr := pn.kern.mr, pn.kern.nr
+	for jr := jr0; jr < jr1; jr += nr {
+		bs := pn.bp[(jr/nr)*pn.kc*nr:][:pn.kc*nr]
+		for ir := 0; ir < mc; ir += mr {
+			as := wb.ap[(ir/mr)*pn.kc*mr:][:pn.kc*mr]
+			pn.kern.fn(pn.kc, as, bs, &wb.acc)
+			mEff, nEff := min(mr, mc-ir), min(nr, pn.nc-jr)
+			writeTile(pn.c, pn.n, ic+ir, pn.jc+jr, mEff, nEff, nr, &wb.acc, pn.alpha, pn.beta)
+			if pn.applyEp {
+				epilogueTile(pn.c, pn.n, ic+ir, pn.jc+jr, mEff, nEff, &pn.ep)
 			}
 		}
 	}
@@ -217,7 +220,7 @@ func gemmPanelRange(a []float32, ars, acs int, bp, c []float32, m, n, jc, pc, kc
 // packA copies the mc×kc block of op(A) at (ic, pc) into mr-row slivers:
 // sliver s holds, for each depth p, the mr consecutive values
 // op(A)[ic+s*mr .. ic+s*mr+mr, pc+p], zero-padded past the last row.
-func packA(a []float32, ars, acs, ic, pc, mc, kc int, dst []float32) {
+func packA(a []float32, ars, acs, ic, pc, mc, kc, mr int, dst []float32) {
 	di := 0
 	for ir := 0; ir < mc; ir += mr {
 		rows := min(mr, mc-ir)
@@ -255,7 +258,7 @@ func packA(a []float32, ars, acs, ic, pc, mc, kc int, dst []float32) {
 // packB copies the kc×nc block of op(B) at (pc, jc) into nr-column slivers:
 // sliver t holds, for each depth p, the nr consecutive values
 // op(B)[pc+p, jc+t*nr .. jc+t*nr+nr], zero-padded past the last column.
-func packB(b []float32, brs, bcs, pc, jc, kc, nc int, dst []float32) {
+func packB(b []float32, brs, bcs, pc, jc, kc, nc, nr int, dst []float32) {
 	di := 0
 	for jr := 0; jr < nc; jr += nr {
 		cols := min(nr, nc-jr)
@@ -281,12 +284,13 @@ func packB(b []float32, brs, bcs, pc, jc, kc, nc int, dst []float32) {
 }
 
 // writeTile folds one micro-kernel product tile into C:
-// C[i0:i0+mEff, j0:j0+nEff] = beta*C + alpha*acc. beta==0 stores without
-// reading C, so it is safe on uninitialized (scratch) output buffers.
-func writeTile(c []float32, ldc, i0, j0, mEff, nEff int, acc *[mr * nr]float32, alpha, beta float32) {
+// C[i0:i0+mEff, j0:j0+nEff] = beta*C + alpha*acc, where acc rows have
+// stride accStride (the kernel's nr). beta==0 stores without reading C, so
+// it is safe on uninitialized (scratch) output buffers.
+func writeTile(c []float32, ldc, i0, j0, mEff, nEff, accStride int, acc *[maxMR * maxNR]float32, alpha, beta float32) {
 	for i := 0; i < mEff; i++ {
 		crow := c[(i0+i)*ldc+j0:][:nEff]
-		arow := acc[i*nr : i*nr+nEff]
+		arow := acc[i*accStride : i*accStride+nEff]
 		switch {
 		case beta == 0 && alpha == 1:
 			copy(crow, arow)

@@ -1,8 +1,9 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package tensor
 
-// Platforms without an assembly micro-kernel keep the package defaults:
-// microKernel = kernel8x8Generic and blockedEnabled = false, so every GEMM
-// goes through the axpy fallback, which matches the generic kernel's scalar
-// throughput without paying the packing traffic.
+// Platforms without an assembly micro-kernel register nothing: selection
+// falls through to the portable generic kernels, and blockedEnabled stays
+// false so every GEMM takes the axpy fallback, which matches the generic
+// kernel's scalar throughput without paying the packing traffic.
+func archKernels() []kernelDesc { return nil }

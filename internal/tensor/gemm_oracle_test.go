@@ -82,6 +82,7 @@ func TestBlockedGEMMOracle(t *testing.T) {
 // TestBlockedGEMMBlockBoundaries pins shapes that straddle the cache-block
 // parameters, where panel edge handling (partial kc/mc/nc) is exercised.
 func TestBlockedGEMMBlockBoundaries(t *testing.T) {
+	mr, nr := activeKernel.mr, activeKernel.nr
 	for _, s := range []struct{ m, k, n int }{
 		{blockMC - 1, blockKC + 1, nr + 1},
 		{blockMC + 3, blockKC - 1, 2*nr - 1},
@@ -145,20 +146,61 @@ func TestTransposeOracle(t *testing.T) {
 	}
 }
 
-// TestMicroKernelParity compares the active micro-kernel (assembly when the
-// CPU supports it) against the portable one on padded and ragged depths.
-func TestMicroKernelParity(t *testing.T) {
-	for _, kc := range []int{1, 2, 7, 64, 255, 256} {
-		ap := make([]float32, kc*mr)
-		bp := make([]float32, kc*nr)
-		fillDeterministic(ap, uint32(kc+51))
-		fillDeterministic(bp, uint32(kc+53))
-		var want, got [mr * nr]float32
-		kernel8x8Generic(kc, ap, bp, &want)
-		microKernel(kc, ap, bp, &got)
-		if d := maxAbsDiff(got[:], want[:]); d > oracleTol {
-			t.Fatalf("micro-kernel kc=%d: max abs diff %g vs generic", kc, d)
+// TestMicroKernelParityAll compares every registered micro-kernel this CPU
+// can run (assembly and generic alike) against a freshly built portable
+// kernel of the same tile shape, on padded and ragged depths including
+// kc=0 (the adapter's zero-fill path).
+func TestMicroKernelParityAll(t *testing.T) {
+	for _, k := range kernelTable {
+		if !k.available {
+			t.Logf("skipping %s: not available on this CPU", k.name)
+			continue
 		}
+		ref := genericKernel(k.mr, k.nr)
+		t.Run(k.name, func(t *testing.T) {
+			for _, kc := range []int{0, 1, 2, 7, 64, 255, 256} {
+				ap := make([]float32, max(kc, 1)*k.mr)
+				bp := make([]float32, max(kc, 1)*k.nr)
+				fillDeterministic(ap, uint32(kc+51))
+				fillDeterministic(bp, uint32(kc+53))
+				var want, got [maxMR * maxNR]float32
+				fillDeterministic(want[:], 77) // stale garbage the kernel must overwrite
+				fillDeterministic(got[:], 77)
+				ref(kc, ap, bp, &want)
+				k.fn(kc, ap, bp, &got)
+				if d := maxAbsDiff(got[:k.mr*k.nr], want[:k.mr*k.nr]); d > oracleTol {
+					t.Fatalf("kernel %s kc=%d: max abs diff %g vs generic %dx%d", k.name, kc, d, k.mr, k.nr)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockedGEMMOracleAllKernels drives the full blocked composition —
+// packing, macro loops, write-back — under every available kernel across
+// ragged edges (m, k, n off the mr/nr multiples), against the naive
+// reference. This is what catches packing/tile-shape mismatches that the
+// isolated kernel parity test cannot.
+func TestBlockedGEMMOracleAllKernels(t *testing.T) {
+	for _, k := range kernelTable {
+		if !k.available {
+			continue
+		}
+		t.Run(k.name, func(t *testing.T) {
+			prev := SetGEMMKernelForTest(k.name)
+			defer SetGEMMKernelForTest(prev)
+			for _, s := range []struct{ m, k, n int }{
+				{2, 4, k.nr},
+				{k.mr - 1, 13, k.nr - 1},
+				{k.mr + 1, 65, k.nr + 1},
+				{3*k.mr + 2, blockKC + 7, 2*k.nr + 3},
+				{blockMC + 5, 33, 4*k.nr - 1},
+			} {
+				checkGEMMOracle(t, s.m, s.k, s.n, 1, 0)
+				checkGEMMOracle(t, s.m, s.k, s.n, 1, 1)
+				checkGEMMOracle(t, s.m, s.k, s.n, 0.5, 1)
+			}
+		})
 	}
 }
 
